@@ -1,0 +1,80 @@
+"""Simulator throughput microbenchmarks (true repeated-timing benches).
+
+Unlike the figure benches (one-shot experiments), these measure the
+simulator's own hot paths with pytest-benchmark's statistics: raw event
+dispatch, the L1-hit fast path, the full directory miss path, and an
+end-to-end simulated-cycles-per-second figure.  Useful for keeping the
+reproduction usable as it evolves (the profiling-first HPC workflow).
+"""
+
+from repro.common.params import typical_params
+from repro.harness.systems import get_system
+from repro.sim.engine import SimEngine
+from repro.sim.machine import Machine
+from repro.sim.runner import RunConfig, run_workload
+from repro.workloads.registry import get_workload
+
+
+def test_engine_event_dispatch(benchmark):
+    def dispatch_10k():
+        engine = SimEngine()
+        count = [0]
+
+        def tick(t):
+            count[0] += 1
+            if count[0] < 10_000:
+                engine.schedule_after(1, tick)
+
+        engine.schedule(0, tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark(dispatch_10k) == 10_000
+
+
+def test_l1_hit_fast_path(benchmark):
+    machine = Machine(
+        typical_params(), get_system("Baseline"), [[] for _ in range(4)]
+    )
+    ms = machine.memsys
+    ms.access(0, 64, True, 0)  # warm the line
+
+    def hit_1k():
+        total = 0
+        for _ in range(1000):
+            total += ms.access(0, 64, True, 0).latency
+        return total
+
+    assert benchmark(hit_1k) == 1000 * typical_params().l1.hit_latency
+
+
+def test_directory_miss_path(benchmark):
+    machine = Machine(
+        typical_params(), get_system("LockillerTM"), [[] for _ in range(4)]
+    )
+    ms = machine.memsys
+    state = {"line": 0}
+
+    def misses_256():
+        total = 0
+        for _ in range(256):
+            state["line"] += 1
+            total += ms.access(0, state["line"] << 6, False, 0).latency
+        return total
+
+    assert benchmark(misses_256) > 0
+
+
+def test_end_to_end_simulation_rate(benchmark):
+    def one_run():
+        stats = run_workload(
+            get_workload("vacation-"),
+            RunConfig(
+                spec=get_system("LockillerTM"), threads=4, scale=0.1, seed=1
+            ),
+        )
+        return stats.execution_cycles
+
+    cycles = benchmark(one_run)
+    assert cycles > 0
+    benchmark.extra_info["simulated_cycles"] = cycles

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Trace a contended run and inspect the conflict dynamics.
+
+Attaches the execution tracer to a small high-contention run on
+LockillerTM, then shows: the tail of the event trace (begins, commits,
+rejects, wake-ups), per-event counts, the hottest contended lines, and
+the commit-latency percentiles — the debugging loop you would actually
+use when a workload misbehaves on this simulator.
+
+Run:  python examples/trace_inspection.py
+"""
+
+from repro.common.params import typical_params
+from repro.harness.systems import get_system
+from repro.sim.machine import Machine
+from repro.sim.trace import TraceEvent, Tracer
+from repro.workloads.registry import get_workload
+
+
+def main() -> None:
+    build = get_workload("intruder").build(threads=6, scale=0.15, seed=42)
+    machine = Machine(
+        typical_params(), get_system("LockillerTM"), build.programs, seed=42
+    )
+    tracer = Tracer(capacity=200_000)
+    tracer.attach(machine)
+    cycles = machine.run()
+
+    failures = build.verify(machine.memsys.memory)
+    assert not failures, failures
+
+    print(f"run finished in {cycles} cycles; {len(tracer)} trace records\n")
+
+    counts = tracer.counts()
+    print("event counts:")
+    for event in TraceEvent:
+        if counts.get(event):
+            print(f"  {event.value:15s} {counts[event]}")
+
+    print("\nhottest contended lines (by reject events):")
+    for line, hits in tracer.contention_profile().hottest(5):
+        print(f"  line {line:#x}: {hits} rejected requests")
+
+    merged = machine.core_stats[0]
+    hist = machine.core_stats[0].commit_latency_hist
+    for cs in machine.core_stats[1:]:
+        hist.merge(cs.commit_latency_hist)
+    print(
+        f"\ncommit latency: mean={hist.mean:.0f} cycles, "
+        f"p50<={hist.quantile_upper_bound(0.5)}, "
+        f"p95<={hist.quantile_upper_bound(0.95)}, "
+        f"p99<={hist.quantile_upper_bound(0.99)}"
+    )
+
+    print("\nlast 12 trace records:")
+    print(tracer.render_tail(12))
+
+
+if __name__ == "__main__":
+    main()

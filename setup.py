@@ -1,0 +1,6 @@
+"""Setuptools shim so legacy editable installs work offline
+(the sandbox has no `wheel` package, which PEP-517 editable mode needs)."""
+
+from setuptools import setup
+
+setup()

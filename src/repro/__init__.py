@@ -1,0 +1,55 @@
+"""LockillerTM reproduction: best-effort HTM with recovery, HTMLock and
+switchingMode mechanisms on a simulated 32-core tiled CMP.
+
+Public API quick tour
+=====================
+
+>>> from repro import run_workload, RunConfig, get_system, get_workload
+>>> stats = run_workload(
+...     get_workload("intruder"),
+...     RunConfig(spec=get_system("LockillerTM"), threads=4, scale=0.2),
+... )
+>>> stats.commit_rate > 0
+True
+
+See ``examples/quickstart.py`` for a guided walk-through, DESIGN.md for
+the system inventory, and EXPERIMENTS.md for the paper-vs-measured data.
+"""
+
+from repro.common.params import (
+    SystemParams,
+    large_cache_params,
+    small_cache_params,
+    typical_params,
+)
+from repro.common.stats import AbortReason, RunStats, TimeCat
+from repro.core.policies import PriorityKind, RequesterPolicy, SystemSpec
+from repro.harness.systems import SYSTEMS, get_system, system_names
+from repro.sim.machine import Machine
+from repro.sim.runner import RunConfig, run_workload
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbortReason",
+    "Machine",
+    "PriorityKind",
+    "RequesterPolicy",
+    "RunConfig",
+    "RunStats",
+    "SYSTEMS",
+    "SystemParams",
+    "SystemSpec",
+    "TimeCat",
+    "WORKLOADS",
+    "get_system",
+    "get_workload",
+    "large_cache_params",
+    "run_workload",
+    "small_cache_params",
+    "system_names",
+    "typical_params",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Comparison systems: coarse-grained locking and LosaTM-SAFU."""
+
+from repro.baselines.cgl import CGL_SPEC
+from repro.baselines.losatm import LOSATM_SAFU_SPEC
+
+__all__ = ["CGL_SPEC", "LOSATM_SAFU_SPEC"]

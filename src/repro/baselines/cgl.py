@@ -1,0 +1,15 @@
+"""CGL — coarse-grained locking at transaction granularity (Table II).
+
+The paper's reference point: the same source programs with the
+enter/exit-critical-section functions overloaded to a single global
+lock.  In this reproduction a ``Txn`` segment on a CGL machine acquires
+the FIFO ticket lock, runs its ops non-speculatively, and releases —
+waiting time is billed as ``waitlock`` and the critical section as
+``lock``, matching the paper's breakdown categories.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import SystemSpec
+
+CGL_SPEC = SystemSpec(name="CGL", use_htm=False)

@@ -1,0 +1,37 @@
+"""LosaTM-SAFU — the state-of-the-art comparison system (Table II).
+
+LosaTM (Fu, Wan & Han, TPDS 2022) is a scenario-awareness conflict
+manager for best-effort HTM.  The paper compares against
+**LosaTM-SAFU**: LosaTM *without* its false-sharing and
+capacity-overflow optimizations (the false-sharing fix is orthogonal to
+LockillerTM and the capacity optimization has narrow applicability).
+
+What remains, per the paper's own description (§II and §IV-B(d)), is a
+NACK-style conflict manager with a stall/wake-up resolution and a
+*progression-based* priority — which this reproduction expresses
+through the same recovery framework with:
+
+* ``RequesterPolicy.WAIT_WAKEUP`` — LosaTM's wake-up mechanism solves
+  "the problem of difficulty in determining the retry time";
+* ``PriorityKind.PROGRESSION`` — priority grows with *elapsed time* in
+  the attempt rather than committed instructions, the property the
+  paper criticizes as less representative than insts-based priority;
+* no HTMLock and no switchingMode — LosaTM keeps the classic exclusive
+  fallback path, so the "unfair competition" scenario (fallback-lock
+  storms) and overflow aborts remain, which is exactly where Fig. 12
+  shows LockillerTM pulling ahead.
+
+This is a re-implementation from the published description, not the
+authors' gem5 code; DESIGN.md records the substitution.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import PriorityKind, RequesterPolicy, SystemSpec
+
+LOSATM_SAFU_SPEC = SystemSpec(
+    name="LosaTM-SAFU",
+    recovery=True,
+    requester_policy=RequesterPolicy.WAIT_WAKEUP,
+    priority_kind=PriorityKind.PROGRESSION,
+)

@@ -1,0 +1,7 @@
+"""MESI directory coherence substrate: L1s, inclusive LLC, directory."""
+
+from repro.coherence.states import MESI
+from repro.coherence.cachearray import CacheArray, EvictedLine
+from repro.coherence.directory import Directory, DirEntry
+
+__all__ = ["MESI", "CacheArray", "EvictedLine", "Directory", "DirEntry"]

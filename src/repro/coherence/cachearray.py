@@ -1,0 +1,162 @@
+"""Set-associative cache array with LRU replacement.
+
+Used for both the private L1s and the shared inclusive LLC.  Lookup is a
+dict probe (O(1)); each set keeps its lines in LRU order (most recent
+last).  Victim selection can be steered away from transactionally-marked
+lines — real HTM way-selection does the same — via the ``pinned``
+predicate; when every way of a set is pinned the caller gets a pinned
+victim back and must treat it as a capacity overflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ProtocolInvariantError
+from repro.common.params import CacheParams
+from repro.coherence.states import MESI
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """Result of inserting into a full set."""
+
+    line: int
+    state: int
+    was_pinned: bool
+
+
+class CacheArray:
+    """One cache's tag/state array."""
+
+    __slots__ = (
+        "params",
+        "_state",
+        "_sets",
+        "_num_sets",
+        "_assoc",
+        "hits",
+        "misses",
+        "evictions",
+    )
+
+    def __init__(self, params: CacheParams) -> None:
+        self.params = params
+        # Cached geometry: set_index is the hottest call in the simulator
+        # and the dataclass properties re-derive it per call.
+        self._num_sets = params.num_sets
+        self._assoc = params.assoc
+        self._state: Dict[int, int] = {}
+        self._sets: Dict[int, List[int]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    def probe(self, line: int) -> int:
+        """Current MESI state of ``line`` (I when absent). No LRU update."""
+        return self._state.get(line, MESI.I)
+
+    def contains(self, line: int) -> bool:
+        return line in self._state
+
+    def touch(self, line: int) -> None:
+        """Refresh LRU position after a hit."""
+        if line not in self._state:
+            raise ProtocolInvariantError(f"touch of absent line {line:#x}")
+        s = self._sets[line % self._num_sets]
+        if s[-1] != line:
+            s.remove(line)
+            s.append(line)
+
+    def set_state(self, line: int, state: int) -> None:
+        """Change the state of a resident line (upgrades/downgrades)."""
+        if line not in self._state:
+            raise ProtocolInvariantError(
+                f"state change on absent line {line:#x}"
+            )
+        if state == MESI.I:
+            self.invalidate(line)
+        else:
+            self._state[line] = state
+
+    def insert(
+        self,
+        line: int,
+        state: int,
+        pinned: Optional[Callable[[int], bool]] = None,
+    ) -> Optional[EvictedLine]:
+        """Insert ``line`` in ``state``; return the victim if one is evicted.
+
+        Victim choice is LRU among non-pinned lines; if all ways are
+        pinned the true LRU line is returned with ``was_pinned=True`` and
+        is *not* evicted — the caller decides (overflow handling).
+        """
+        if state == MESI.I:
+            raise ProtocolInvariantError("inserting a line in state I")
+        if line in self._state:
+            self._state[line] = state
+            self.touch(line)
+            return None
+        idx = line % self._num_sets
+        ways = self._sets.setdefault(idx, [])
+        victim: Optional[EvictedLine] = None
+        if len(ways) >= self._assoc:
+            chosen = None
+            if pinned is None:
+                chosen = ways[0]
+            else:
+                for cand in ways:  # LRU order: oldest first
+                    if not pinned(cand):
+                        chosen = cand
+                        break
+            if chosen is None:
+                # Every way pinned: report overflow, do not evict.
+                return EvictedLine(ways[0], self._state[ways[0]], True)
+            victim = EvictedLine(chosen, self._state[chosen], False)
+            ways.remove(chosen)
+            del self._state[chosen]
+            self.evictions += 1
+        ways.append(line)
+        self._state[line] = state
+        return victim
+
+    def invalidate(self, line: int) -> int:
+        """Drop ``line``; returns its prior state (I when absent)."""
+        prior = self._state.pop(line, MESI.I)
+        if prior != MESI.I:
+            self._sets[line % self._num_sets].remove(line)
+        return prior
+
+    def resident_lines(self):
+        return self._state.keys()
+
+    def set_occupancy(self, line: int) -> int:
+        """Ways in use in the set that ``line`` maps to."""
+        return len(self._sets.get(line % self._num_sets, ()))
+
+    def check_invariants(self) -> None:
+        """Structural self-check used by tests and debug runs."""
+        seen = 0
+        for idx, ways in self._sets.items():
+            if len(ways) > self.params.assoc:
+                raise ProtocolInvariantError(
+                    f"set {idx} holds {len(ways)} > {self.params.assoc} ways"
+                )
+            for line in ways:
+                if self.params.set_index(line) != idx:
+                    raise ProtocolInvariantError(
+                        f"line {line:#x} filed in wrong set {idx}"
+                    )
+                if line not in self._state:
+                    raise ProtocolInvariantError(
+                        f"line {line:#x} in set list but stateless"
+                    )
+                seen += 1
+        if seen != len(self._state):
+            raise ProtocolInvariantError(
+                f"{len(self._state)} states vs {seen} set entries"
+            )

@@ -1,0 +1,147 @@
+"""Directory state for the shared, inclusive LLC.
+
+One :class:`DirEntry` per line records the owner (a core holding E/M) or
+the sharer set (cores holding S), plus ``busy_until`` — the end of the
+line's current protocol transaction, which serializes the blocking
+directory exactly like SLICC transient states do: a request arriving
+while the line is busy starts service only at ``busy_until``.
+
+The Single-Writer-Multiple-Readers invariant is checked structurally by
+:meth:`Directory.check_swmr` against the actual L1 arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.common.errors import ProtocolInvariantError
+from repro.coherence.states import MESI
+
+
+class DirEntry:
+    __slots__ = ("owner", "sharers", "busy_until")
+
+    def __init__(self) -> None:
+        self.owner: int = -1
+        self.sharers: Set[int] = set()
+        self.busy_until: int = 0
+
+    def copies(self) -> Set[int]:
+        if self.owner >= 0:
+            return {self.owner}
+        return set(self.sharers)
+
+    @property
+    def is_idle(self) -> bool:
+        return self.owner < 0 and not self.sharers
+
+
+class Directory:
+    """Full-map directory over all lines ever touched."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, DirEntry] = {}
+
+    def entry(self, line: int) -> DirEntry:
+        e = self._entries.get(line)
+        if e is None:
+            e = DirEntry()
+            self._entries[line] = e
+        return e
+
+    def peek(self, line: int) -> Optional[DirEntry]:
+        return self._entries.get(line)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- ownership transitions ------------------------------------------
+
+    def set_exclusive(self, line: int, core: int) -> None:
+        e = self.entry(line)
+        e.owner = core
+        e.sharers.clear()
+
+    def add_sharer(self, line: int, core: int) -> None:
+        e = self.entry(line)
+        if e.owner == core:
+            return  # already exclusive; keep stronger state
+        if e.owner >= 0:
+            raise ProtocolInvariantError(
+                f"adding sharer {core} to owned line {line:#x}"
+            )
+        e.sharers.add(core)
+
+    def demote_owner_to_sharer(self, line: int) -> None:
+        e = self.entry(line)
+        if e.owner < 0:
+            raise ProtocolInvariantError(f"no owner to demote on {line:#x}")
+        e.sharers.add(e.owner)
+        e.owner = -1
+
+    def remove_copy(self, line: int, core: int) -> None:
+        e = self._entries.get(line)
+        if e is None:
+            return
+        if e.owner == core:
+            e.owner = -1
+        e.sharers.discard(core)
+
+    def copies(self, line: int) -> Set[int]:
+        e = self._entries.get(line)
+        return e.copies() if e is not None else set()
+
+    def other_copies(self, line: int, core: int) -> Set[int]:
+        return {c for c in self.copies(line) if c != core}
+
+    def owner_of(self, line: int) -> int:
+        e = self._entries.get(line)
+        return e.owner if e is not None else -1
+
+    # -- validation ------------------------------------------------------
+
+    def check_swmr(self, l1_arrays: List) -> None:
+        """Assert SWMR + directory/L1 agreement (tests & debug mode).
+
+        * at most one core in E/M per line, and then no sharers;
+        * every L1 copy is recorded at the directory and vice versa.
+        """
+        for line, e in self._entries.items():
+            if e.owner >= 0 and e.sharers - {e.owner}:
+                raise ProtocolInvariantError(
+                    f"line {line:#x}: owner {e.owner} plus sharers "
+                    f"{sorted(e.sharers)}"
+                )
+        per_line_owners: Dict[int, List[int]] = {}
+        for core, arr in enumerate(l1_arrays):
+            for line in arr.resident_lines():
+                st = arr.probe(line)
+                recorded = self._entries.get(line)
+                if recorded is None:
+                    raise ProtocolInvariantError(
+                        f"L1[{core}] holds untracked line {line:#x}"
+                    )
+                if st in (MESI.E, MESI.M):
+                    per_line_owners.setdefault(line, []).append(core)
+                    if recorded.owner != core:
+                        raise ProtocolInvariantError(
+                            f"L1[{core}] has {line:#x} in "
+                            f"{MESI.name(st)} but directory owner is "
+                            f"{recorded.owner}"
+                        )
+                elif st == MESI.S:
+                    if core not in recorded.sharers and recorded.owner != core:
+                        raise ProtocolInvariantError(
+                            f"L1[{core}] shares {line:#x} unknown to "
+                            "directory"
+                        )
+        for line, owners in per_line_owners.items():
+            if len(owners) > 1:
+                raise ProtocolInvariantError(
+                    f"SWMR violated on {line:#x}: owners {owners}"
+                )
+
+    def lines(self) -> Iterable[int]:
+        return self._entries.keys()

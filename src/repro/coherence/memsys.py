@@ -1,0 +1,659 @@
+"""The memory subsystem: private L1s, shared inclusive LLC + directory,
+transactional conflict detection, and the LockillerTM mechanisms.
+
+Every memory access resolves *event-atomically* at its issue event: the
+directory lookup, conflict resolution, state transitions and victim
+aborts all happen at once, and the caller receives the total latency to
+schedule its continuation.  Because the event engine totally orders
+events, this preserves the blocking-directory semantics (per-line
+``busy_until`` models the transient-state window) while keeping the
+simulator fast.
+
+Conflict detection is eager (on the request path), exactly like the
+modeled best-effort HTM: the global ``tx_readers`` / ``tx_writers`` maps
+index which cores hold each line transactionally, and the two LLC
+overflow signatures cover the HTMLock-mode transaction's spilled lines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.common.errors import ProtocolInvariantError
+from repro.common.params import SystemParams
+from repro.common.stats import AbortReason, CoreStats
+from repro.coherence.cachearray import CacheArray
+from repro.coherence.directory import Directory
+from repro.coherence.states import MESI
+from repro.core.conflict import (
+    ConflictManager,
+    HolderInfo,
+    RequesterInfo,
+    Resolution,
+)
+from repro.core.signatures import BloomSignature
+from repro.htm.txstate import TxMode, TxState
+from repro.interconnect.network import NetworkModel
+from repro.interconnect.topology import MeshTopology
+
+# Access outcome statuses.
+GRANT = 0
+REJECT = 1
+OVERFLOW = 2
+
+
+class AccessResult:
+    __slots__ = (
+        "status",
+        "latency",
+        "hit",
+        "reject_holder",
+        "reject_by_lock",
+    )
+
+    def __init__(
+        self,
+        status: int,
+        latency: int,
+        hit: bool = False,
+        reject_holder: int = -1,
+        reject_by_lock: bool = False,
+    ) -> None:
+        self.status = status
+        self.latency = latency
+        self.hit = hit
+        self.reject_holder = reject_holder
+        self.reject_by_lock = reject_by_lock
+
+
+class MemorySystem:
+    """All caches plus the functional memory image."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        topology: MeshTopology,
+        network: NetworkModel,
+        manager: ConflictManager,
+        core_stats: List[CoreStats],
+        tile_of_core: Callable[[int], int],
+    ) -> None:
+        self.params = params
+        self.topology = topology
+        self.network = network
+        self.manager = manager
+        self.core_stats = core_stats
+        self.tile_of_core = tile_of_core
+        n = params.num_cores
+        self.l1s: List[CacheArray] = [CacheArray(params.l1) for _ in range(n)]
+        #: MESI-Three-Level-HTM mode (§IV-A): a private middle cache per
+        #: core maintains the transactional data.  None = two-level.
+        self.l2s: Optional[List[CacheArray]] = (
+            [CacheArray(params.l2private) for _ in range(n)]
+            if params.l2private is not None
+            else None
+        )
+        self.llc = CacheArray(params.llc)
+        self.directory = Directory()
+        #: Committed functional memory image (word address -> value).
+        self.memory: Dict[int, int] = {}
+        #: line -> set of cores holding it in a transactional read set.
+        self.tx_readers: Dict[int, Set[int]] = {}
+        self.tx_writers: Dict[int, Set[int]] = {}
+        #: Registered per-core transactional state (wired by Machine).
+        self.tx_states: List[TxState] = []
+        #: HTMLock overflow signatures; valid while ``sig_owner >= 0``.
+        self.of_rd_sig = BloomSignature(
+            params.htm.signature_bits, params.htm.signature_hashes, seed=1
+        )
+        self.of_wr_sig = BloomSignature(
+            params.htm.signature_bits, params.htm.signature_hashes, seed=2
+        )
+        self.sig_owner: int = -1
+        #: Victim-abort callback, wired by Machine:
+        #: abort_core(core, reason, now).
+        self.abort_core: Callable[[int, AbortReason, int], None] = (
+            self._unwired_abort
+        )
+        #: Debug mode: run SWMR checks after every access (slow).
+        self.paranoid = False
+        self.signature_spills = 0
+        self.signature_rejects = 0
+
+    @staticmethod
+    def _unwired_abort(core: int, reason: AbortReason, now: int) -> None:
+        raise ProtocolInvariantError("abort callback not wired")
+
+    # ------------------------------------------------------------------
+    # Functional value plane
+    # ------------------------------------------------------------------
+
+    def functional_load(self, core: int, addr: int) -> int:
+        tx = self.tx_states[core]
+        val = self.memory.get(addr, 0)
+        if tx.mode is TxMode.HTM:
+            val += tx.write_buffer.get(addr, 0)
+        return val
+
+    def functional_store(self, core: int, addr: int, delta: int) -> None:
+        tx = self.tx_states[core]
+        if tx.mode is TxMode.HTM:
+            tx.buffer_store(addr, delta)
+        else:
+            # Lock modes (TL/STL/FALLBACK) and plain accesses write
+            # through: they are irrevocable.
+            if delta:
+                self.memory[addr] = self.memory.get(addr, 0) + delta
+
+    def publish(self, tx: TxState) -> None:
+        """Commit: apply the speculative write buffer to memory."""
+        mem = self.memory
+        for addr, delta in tx.write_buffer.items():
+            if delta:
+                mem[addr] = mem.get(addr, 0) + delta
+        tx.write_buffer.clear()
+
+    # ------------------------------------------------------------------
+    # Transactional tracking
+    # ------------------------------------------------------------------
+
+    def _track(self, core: int, line: int, is_write: bool, tx: TxState) -> None:
+        if is_write:
+            tx.track_write(line)
+            self.tx_writers.setdefault(line, set()).add(core)
+        else:
+            tx.track_read(line)
+            self.tx_readers.setdefault(line, set()).add(core)
+
+    def discard_tx(self, core: int) -> None:
+        """Drop all transactional tracking for ``core`` (abort path).
+
+        The abort flash-clears every speculatively-accessed line from the
+        L1 — written lines hold discarded data, and the modeled gem5
+        MESI-HTM protocols flush read-marked lines as well (§IV-A notes
+        the ARM protocol invalidates L1 transactional data wholesale), so
+        an aborted attempt gives its retry no L1 warm-up.  HTMLock
+        signatures are cleared if this core owned them.
+        """
+        tx = self.tx_states[core]
+        tx.last_write_count = len(tx.write_set)
+        readers = self.tx_readers
+        writers = self.tx_writers
+        directory = self.directory
+        for line in tx.read_set:
+            s = readers.get(line)
+            if s is not None:
+                s.discard(core)
+                if not s:
+                    del readers[line]
+            self._purge_private(core, line)
+            directory.remove_copy(line, core)
+        for line in tx.write_set:
+            s = writers.get(line)
+            if s is not None:
+                s.discard(core)
+                if not s:
+                    del writers[line]
+            self._purge_private(core, line)
+            directory.remove_copy(line, core)
+        tx.read_set.clear()
+        tx.write_set.clear()
+        if self.sig_owner == core:
+            self.clear_signatures(core)
+
+    def retire_tx(self, core: int) -> None:
+        """Commit: clear tracking, keeping cache lines (now committed)."""
+        tx = self.tx_states[core]
+        readers = self.tx_readers
+        writers = self.tx_writers
+        for line in tx.read_set:
+            s = readers.get(line)
+            if s is not None:
+                s.discard(core)
+                if not s:
+                    del readers[line]
+        for line in tx.write_set:
+            s = writers.get(line)
+            if s is not None:
+                s.discard(core)
+                if not s:
+                    del writers[line]
+        tx.read_set.clear()
+        tx.write_set.clear()
+        if self.sig_owner == core:
+            self.clear_signatures(core)
+
+    def clear_signatures(self, core: int) -> None:
+        if self.sig_owner != core:
+            raise ProtocolInvariantError(
+                f"core {core} clearing signatures owned by {self.sig_owner}"
+            )
+        self.of_rd_sig.clear()
+        self.of_wr_sig.clear()
+        self.sig_owner = -1
+
+    def spill_to_signature(self, core: int, line: int) -> None:
+        """HTMLock overflow (Fig. 5 ②): move a set entry to the LLC sigs."""
+        tx = self.tx_states[core]
+        if not tx.mode.is_lock_mode:
+            raise ProtocolInvariantError(
+                f"core {core} spilling in mode {tx.mode}"
+            )
+        if self.sig_owner not in (-1, core):
+            raise ProtocolInvariantError(
+                f"signatures already owned by {self.sig_owner}"
+            )
+        self.sig_owner = core
+        spilled = False
+        if line in tx.write_set:
+            self.of_wr_sig.insert(line)
+            tx.write_set.discard(line)
+            s = self.tx_writers.get(line)
+            if s is not None:
+                s.discard(core)
+                if not s:
+                    del self.tx_writers[line]
+            spilled = True
+        if line in tx.read_set:
+            self.of_rd_sig.insert(line)
+            tx.read_set.discard(line)
+            s = self.tx_readers.get(line)
+            if s is not None:
+                s.discard(core)
+                if not s:
+                    del self.tx_readers[line]
+            spilled = True
+        if not spilled:
+            raise ProtocolInvariantError(
+                f"core {core} spilling untracked line {line:#x}"
+            )
+        self._purge_private(core, line)
+        self.directory.remove_copy(line, core)
+        self.signature_spills += 1
+
+    # ------------------------------------------------------------------
+    # The access path
+    # ------------------------------------------------------------------
+
+    def priority_of(self, core: int, now: int) -> int:
+        return self.manager.priority_provider.priority_of(
+            self.tx_states[core], now
+        )
+
+    def _pinned_pred(self, tx: TxState) -> Optional[Callable[[int], bool]]:
+        if not tx.mode.in_transaction or tx.mode is TxMode.FALLBACK:
+            return None
+        rs, ws = tx.read_set, tx.write_set
+        return lambda line: line in rs or line in ws
+
+    def _collect_holders(
+        self, core: int, line: int, is_write: bool, now: int
+    ) -> List[HolderInfo]:
+        holders: List[HolderInfo] = []
+        provider = self.manager.priority_provider
+        writers = self.tx_writers.get(line)
+        if writers:
+            for c in writers:
+                if c != core:
+                    tx = self.tx_states[c]
+                    holders.append(
+                        HolderInfo(
+                            c,
+                            tx.mode,
+                            provider.priority_of(tx, now),
+                            holds_as_writer=True,
+                        )
+                    )
+        if is_write:
+            readers = self.tx_readers.get(line)
+            if readers:
+                seen = {h.core for h in holders}
+                for c in readers:
+                    if c != core and c not in seen:
+                        tx = self.tx_states[c]
+                        holders.append(
+                            HolderInfo(
+                                c,
+                                tx.mode,
+                                provider.priority_of(tx, now),
+                                holds_as_writer=False,
+                            )
+                        )
+        # HTMLock overflow signatures (§III-B): checked at the LLC while
+        # an HTMLock-mode transaction is live.
+        sig_owner = self.sig_owner
+        if sig_owner >= 0 and sig_owner != core:
+            if not any(h.core == sig_owner for h in holders):
+                conflict = False
+                as_writer = False
+                if self.of_wr_sig.test(line):
+                    conflict, as_writer = True, True
+                elif self.of_rd_sig.test(line):
+                    if is_write:
+                        conflict = True
+                    elif not self.directory.other_copies(line, core):
+                        # Granting exclusive data would let the requester
+                        # store silently; the paper rejects this case.
+                        conflict = True
+                if conflict:
+                    tx = self.tx_states[sig_owner]
+                    holders.append(
+                        HolderInfo(
+                            sig_owner,
+                            tx.mode,
+                            provider.priority_of(tx, now),
+                            holds_as_writer=as_writer,
+                            via_signature=True,
+                        )
+                    )
+                    self.signature_rejects += 1
+        return holders
+
+    def access(
+        self, core: int, addr: int, is_write: bool, now: int
+    ) -> AccessResult:
+        """Resolve one load/store; returns status + total latency."""
+        line = addr >> 6
+        tx = self.tx_states[core]
+        l1 = self.l1s[core]
+        p = self.params
+        stats = self.core_stats[core]
+        st = l1.probe(line)
+
+        # -- L1 hit with sufficient permission --------------------------
+        if st != MESI.I and (not is_write or st in (MESI.E, MESI.M)):
+            l1.touch(line)
+            if is_write and st == MESI.E:
+                l1.set_state(line, MESI.M)  # silent E->M upgrade
+                if self.l2s is not None:
+                    self.l2s[core].insert(line, MESI.M)  # keep inclusion
+            stats.l1_hits += 1
+            if tx.mode in (TxMode.HTM, TxMode.TL, TxMode.STL):
+                self._track(core, line, is_write, tx)
+            return AccessResult(GRANT, p.l1.hit_latency, hit=True)
+
+        stats.l1_misses += 1
+
+        # -- Private middle cache (MESI-Three-Level-HTM mode) ------------
+        if self.l2s is not None:
+            l2 = self.l2s[core]
+            st2 = l2.probe(line)
+            if st2 != MESI.I and (not is_write or st2 in (MESI.E, MESI.M)):
+                l2.touch(line)
+                new_state = st2
+                if is_write and st2 == MESI.E:
+                    new_state = MESI.M
+                    l2.set_state(line, MESI.M)
+                elif is_write:
+                    new_state = MESI.M
+                # Promote into the L1; its victim silently drops back
+                # (the copy remains in the inclusive middle cache).
+                l1.insert(line, new_state, pinned=None)
+                stats.l2_hits += 1
+                if tx.mode in (TxMode.HTM, TxMode.TL, TxMode.STL):
+                    self._track(core, line, is_write, tx)
+                return AccessResult(
+                    GRANT,
+                    p.l1.hit_latency + p.l2private.hit_latency,
+                    hit=True,
+                )
+
+        # -- Overflow pre-check (Fig. 6): need a way, all ways pinned ----
+        # Transactional data is maintained at the outermost private
+        # level: the L1 in two-level mode, the middle cache in
+        # three-level mode (which is exactly why the ARM protocol added
+        # it, §IV-A).
+        outer = l1 if self.l2s is None else self.l2s[core]
+        outer_params = p.l1 if self.l2s is None else p.l2private
+        needs_insert = outer.probe(line) == MESI.I
+        if needs_insert:
+            pinned = self._pinned_pred(tx)
+            if (
+                pinned is not None
+                and outer.set_occupancy(line) >= outer_params.assoc
+            ):
+                victim = self._find_unpinned_victim(outer, line, pinned)
+                if victim is None:
+                    if tx.mode.is_lock_mode:
+                        # HTMLock mode survives overflow: spill the LRU
+                        # set entry into the LLC signatures and continue.
+                        spill_line = self._lru_line(outer, line)
+                        self.spill_to_signature(core, spill_line)
+                        # charge the notification to the LLC (Fig. 5 (2))
+                        extra = self.network.control_latency(
+                            self.tile_of_core(core),
+                            self.topology.home_tile(spill_line),
+                        )
+                        res = self.access(core, addr, is_write, now)
+                        res.latency += extra
+                        return res
+                    return AccessResult(OVERFLOW, p.l1.hit_latency)
+
+        # -- Miss path: to the home directory ----------------------------
+        home = self.topology.home_tile(line)
+        my_tile = self.tile_of_core(core)
+        req_lat = p.l1.hit_latency + self.network.control_latency(
+            my_tile, home
+        )
+        entry = self.directory.entry(line)
+        arrive = now + req_lat
+        start = arrive if arrive > entry.busy_until else entry.busy_until
+
+        holders = self._collect_holders(core, line, is_write, now)
+        req = RequesterInfo(
+            core,
+            tx.mode,
+            self.manager.priority_provider.priority_of(tx, now),
+            is_write,
+        )
+        resolution: Resolution = self.manager.resolve(req, holders)
+
+        if not resolution.granted:
+            entry.busy_until = start + p.llc.hit_latency
+            back = self.network.control_latency(home, my_tile)
+            latency = (start - now) + p.llc.hit_latency + back
+            stats.rejects_received += 1
+            self.core_stats[resolution.reject_holder].rejects_issued += 1
+            return AccessResult(
+                REJECT,
+                latency,
+                reject_holder=resolution.reject_holder,
+                reject_by_lock=resolution.reject_by_lock,
+            )
+
+        # -- Granted: abort victims, move data, update state -------------
+        victim_cores = set()
+        for vcore, reason in resolution.victims:
+            victim_cores.add(vcore)
+            self.abort_core(vcore, reason, now)
+
+        owner_before = entry.owner
+        llc_hit = self.llc.contains(line)
+        data_lat = p.llc.hit_latency + (0 if llc_hit else p.memory.latency)
+
+        if owner_before >= 0 and owner_before != core:
+            owner_tile = self.tile_of_core(owner_before)
+            if owner_before in victim_cores:
+                # Fig. 3 NACK path: the aborting owner invalidated
+                # itself; the directory sources the data.
+                data_lat += (
+                    self.network.control_latency(home, owner_tile)
+                    + self.network.control_latency(owner_tile, home)
+                    + self.network.data_latency(home, my_tile)
+                )
+            else:
+                # Normal cache-to-cache forward.
+                data_lat += self.network.control_latency(
+                    home, owner_tile
+                ) + self.network.data_latency(owner_tile, my_tile)
+                if is_write:
+                    self._purge_private(owner_before, line)
+                    self.directory.remove_copy(line, owner_before)
+                else:
+                    self._demote_private(owner_before, line)
+                    self.directory.demote_owner_to_sharer(line)
+        else:
+            data_lat += self.network.data_latency(home, my_tile)
+
+        if is_write:
+            for c in list(self.directory.copies(line)):
+                if c != core:
+                    self._purge_private(c, line)
+                    self.directory.remove_copy(line, c)
+
+        # Inclusive LLC fill (may back-invalidate on eviction).
+        if not llc_hit:
+            llc_victim = self.llc.insert(line, MESI.M)
+            if llc_victim is not None:
+                self._back_invalidate(llc_victim.line, now)
+
+        # Private fill / upgrade + directory stable state.
+        if needs_insert:
+            if is_write:
+                new_state = MESI.M
+            else:
+                others = self.directory.other_copies(line, core)
+                new_state = MESI.E if not others else MESI.S
+            victim = outer.insert(line, new_state, self._pinned_pred(tx))
+            if victim is not None:
+                if victim.was_pinned:
+                    raise ProtocolInvariantError(
+                        "pinned victim after overflow pre-check"
+                    )
+                if self.l2s is not None and l1.probe(victim.line) != MESI.I:
+                    l1.invalidate(victim.line)  # inclusion
+                self.directory.remove_copy(victim.line, core)
+            if self.l2s is not None:
+                # Fill the L1 too; its victim stays in the middle cache.
+                l1.insert(line, new_state, pinned=None)
+        else:
+            new_state = MESI.M if is_write else outer.probe(line)
+            outer.set_state(line, new_state)
+            outer.touch(line)
+            if self.l2s is not None:
+                if l1.probe(line) != MESI.I:
+                    l1.set_state(line, new_state)
+                    l1.touch(line)
+                else:
+                    l1.insert(line, new_state, pinned=None)
+
+        if is_write or new_state == MESI.E:
+            self.directory.set_exclusive(line, core)
+        else:
+            self.directory.add_sharer(line, core)
+
+        # Blocking directory: the line stays in its transient state until
+        # the requester's unblock arrives — i.e. the whole data path.
+        entry.busy_until = start + data_lat
+        if tx.mode in (TxMode.HTM, TxMode.TL, TxMode.STL) and not tx.aborted:
+            self._track(core, line, is_write, tx)
+
+        latency = (start - now) + data_lat
+        if self.paranoid:
+            self.directory.check_swmr(
+                self.l2s if self.l2s is not None else self.l1s
+            )
+        return AccessResult(GRANT, latency)
+
+    # ------------------------------------------------------------------
+
+    def _purge_private(self, core: int, line: int) -> None:
+        """Invalidate a line from every private level of ``core``."""
+        if self.l1s[core].probe(line) != MESI.I:
+            self.l1s[core].invalidate(line)
+        if self.l2s is not None and self.l2s[core].probe(line) != MESI.I:
+            self.l2s[core].invalidate(line)
+
+    def _demote_private(self, core: int, line: int) -> None:
+        """Downgrade an owner to shared.
+
+        Two-level: the L1 copy simply turns S.  Three-level reproduces
+        the gem5 protocol's odd behaviour §IV-A criticizes: the L1 copy
+        is *flushed to the middle cache* (invalidated) even though the
+        remote request was only a load, leaving the middle-cache copy in
+        S — subsequent local reads pay the L2 latency again.
+        """
+        if self.l2s is None:
+            if self.l1s[core].probe(line) != MESI.I:
+                self.l1s[core].set_state(line, MESI.S)
+            return
+        if self.l1s[core].probe(line) != MESI.I:
+            self.l1s[core].invalidate(line)
+        if self.l2s[core].probe(line) != MESI.I:
+            self.l2s[core].set_state(line, MESI.S)
+        else:  # pragma: no cover - inclusion guarantees presence
+            self.l2s[core].insert(line, MESI.S)
+
+    @staticmethod
+    def _find_unpinned_victim(
+        l1: CacheArray, line: int, pinned: Callable[[int], bool]
+    ) -> Optional[int]:
+        idx = l1.params.set_index(line)
+        for cand in l1._sets.get(idx, ()):  # LRU order, oldest first
+            if not pinned(cand):
+                return cand
+        return None
+
+    @staticmethod
+    def _lru_line(l1: CacheArray, line: int) -> int:
+        ways = l1._sets[l1.params.set_index(line)]
+        return ways[0]
+
+    def _back_invalidate(self, line: int, now: int) -> None:
+        """Inclusion victim: purge upstream copies; tx holders overflow."""
+        for c in list(self.directory.copies(line)):
+            tx = self.tx_states[c]
+            in_tx_set = line in tx.read_set or line in tx.write_set
+            if in_tx_set:
+                if tx.mode.is_lock_mode:
+                    self.spill_to_signature(c, line)
+                    continue
+                if tx.mode is TxMode.HTM and not tx.aborted:
+                    self.abort_core(c, AbortReason.OVERFLOW, now)
+                    continue  # abort path invalidated the written lines
+            self._purge_private(c, line)
+            self.directory.remove_copy(line, c)
+
+    # ------------------------------------------------------------------
+    # Validation helpers (tests, end-of-run sanity)
+    # ------------------------------------------------------------------
+
+    def check_quiescent(self) -> List[str]:
+        """Invariants that must hold when no transaction is running."""
+        problems: List[str] = []
+        if self.tx_readers:
+            problems.append(f"stale tx_readers: {len(self.tx_readers)} lines")
+        if self.tx_writers:
+            problems.append(f"stale tx_writers: {len(self.tx_writers)} lines")
+        if self.sig_owner >= 0:
+            problems.append(f"signatures still owned by {self.sig_owner}")
+        if not self.of_rd_sig.empty or not self.of_wr_sig.empty:
+            problems.append("signatures not cleared")
+        try:
+            # SWMR is checked at the outermost private level; in
+            # three-level mode the L1s are strict subsets of the middle
+            # caches (inclusion, checked below).
+            self.directory.check_swmr(
+                self.l2s if self.l2s is not None else self.l1s
+            )
+        except ProtocolInvariantError as exc:
+            problems.append(str(exc))
+        for i, l1 in enumerate(self.l1s):
+            try:
+                l1.check_invariants()
+            except ProtocolInvariantError as exc:
+                problems.append(f"L1[{i}]: {exc}")
+        if self.l2s is not None:
+            for i, l2 in enumerate(self.l2s):
+                try:
+                    l2.check_invariants()
+                except ProtocolInvariantError as exc:
+                    problems.append(f"L2[{i}]: {exc}")
+                for line in list(self.l1s[i].resident_lines()):
+                    if l2.probe(line) == MESI.I:
+                        problems.append(
+                            f"inclusion violated: L1[{i}] holds "
+                            f"{line:#x} absent from its middle cache"
+                        )
+                        break
+        return problems

@@ -1,0 +1,37 @@
+"""Shared foundations: addresses, parameters, RNG, statistics, errors."""
+
+from repro.common.params import (
+    CacheParams,
+    MemoryParams,
+    NetworkParams,
+    SystemParams,
+    large_cache_params,
+    small_cache_params,
+    typical_params,
+)
+from repro.common.types import (
+    LINE_SHIFT,
+    LINE_SIZE,
+    Address,
+    CoreId,
+    LineAddr,
+    line_of,
+    line_base,
+)
+
+__all__ = [
+    "Address",
+    "CoreId",
+    "LineAddr",
+    "LINE_SHIFT",
+    "LINE_SIZE",
+    "line_of",
+    "line_base",
+    "CacheParams",
+    "MemoryParams",
+    "NetworkParams",
+    "SystemParams",
+    "typical_params",
+    "small_cache_params",
+    "large_cache_params",
+]

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the simulator.
+
+Simulator bugs (protocol invariant violations) are distinguished from
+user errors (bad configuration) so tests can assert on the right class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(ReproError):
+    """Invalid user-supplied configuration."""
+
+
+class ProtocolInvariantError(ReproError):
+    """A cache-coherence invariant (e.g. SWMR) was violated — a bug."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an impossible state (deadlock, lost core)."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable events remain but cores have not finished."""

@@ -1,0 +1,38 @@
+"""Elementary typing vocabulary shared across the simulator.
+
+Addresses are plain ``int`` byte addresses.  Cache lines are 64 bytes, so a
+*line address* is the byte address right-shifted by :data:`LINE_SHIFT`.
+Using bare integers (not wrapper classes) keeps the hot coherence paths
+allocation-free, per the HPC guidance of vectorising and avoiding object
+churn in inner loops.
+"""
+
+from __future__ import annotations
+
+# Table I: cache line size is 64 bytes.
+LINE_SIZE: int = 64
+LINE_SHIFT: int = 6
+
+#: Byte address within the simulated physical address space.
+Address = int
+#: Cache-line index (byte address >> LINE_SHIFT).
+LineAddr = int
+#: Index of a core / hardware thread (0-based).
+CoreId = int
+#: Simulated time in cycles.
+Cycles = int
+
+
+def line_of(addr: Address) -> LineAddr:
+    """Return the cache-line index containing byte address ``addr``."""
+    return addr >> LINE_SHIFT
+
+
+def line_base(line: LineAddr) -> Address:
+    """Return the first byte address of cache line ``line``."""
+    return line << LINE_SHIFT
+
+
+def same_line(a: Address, b: Address) -> bool:
+    """True when the two byte addresses fall in the same cache line."""
+    return (a >> LINE_SHIFT) == (b >> LINE_SHIFT)

@@ -1,0 +1,53 @@
+"""LockillerTM's three mechanisms and the conflict-management framework.
+
+* :mod:`repro.core.priority` — user-defined transaction priorities
+  (insts-based, progression-based, none).
+* :mod:`repro.core.conflict` — the recovery mechanism's selective-reject
+  conflict managers (requester-wins baseline included for comparison).
+* :mod:`repro.core.wakeup` — wake-up bookkeeping for rejected requests.
+* :mod:`repro.core.signatures` — LLC overflow signatures (OfRdSig /
+  OfWrSig) backing the HTMLock mechanism.
+* :mod:`repro.core.hlarbiter` — LLC arbitration serializing entry into
+  HTMLock mode (TL vs STL contention, switchingMode).
+* :mod:`repro.core.policies` — system composition flags (Table II).
+"""
+
+from repro.core.policies import PriorityKind, RequesterPolicy, SystemSpec
+from repro.core.priority import (
+    InstsBasedPriority,
+    NoPriority,
+    PriorityProvider,
+    ProgressionPriority,
+)
+from repro.core.signatures import BloomSignature
+from repro.core.wakeup import WakeupTable
+from repro.core.hlarbiter import HLArbiter
+from repro.core.conflict import (
+    ConflictManager,
+    HolderInfo,
+    RequesterInfo,
+    RecoveryConflictManager,
+    RequesterWinsManager,
+    Resolution,
+    build_conflict_manager,
+)
+
+__all__ = [
+    "PriorityKind",
+    "RequesterPolicy",
+    "SystemSpec",
+    "PriorityProvider",
+    "InstsBasedPriority",
+    "ProgressionPriority",
+    "NoPriority",
+    "BloomSignature",
+    "WakeupTable",
+    "HLArbiter",
+    "ConflictManager",
+    "RequesterWinsManager",
+    "RecoveryConflictManager",
+    "HolderInfo",
+    "RequesterInfo",
+    "Resolution",
+    "build_conflict_manager",
+]

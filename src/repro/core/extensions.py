@@ -1,0 +1,48 @@
+"""Extension systems beyond the paper's Table II.
+
+These arm design points the paper discusses but deliberately leaves out,
+so the deferred decisions can be evaluated:
+
+* ``LockillerTM-XF`` — switchingMode also fires on *exceptions*
+  (§III-C declines this citing CPU-validation complexity and security
+  risks; the simulator has neither constraint, so the performance side
+  of the trade-off can be measured — chiefly on yada).
+* ``LockillerTM-RWS`` — recovery with a *static* pre-assigned priority
+  (§III-A: "If the priority is determined before execution, there is no
+  problem with priority inversion, but selecting a reasonable priority
+  is difficult").  The fairness ablation quantifies the starvation this
+  causes relative to the dynamic insts-based policy.
+
+They are intentionally *not* registered in
+:data:`repro.harness.systems.SYSTEMS` — Table II is kept faithful to the
+paper — but :func:`extension_systems` exposes them to the benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.policies import PriorityKind, RequesterPolicy, SystemSpec
+
+SWITCH_ON_FAULT_SPEC = SystemSpec(
+    name="LockillerTM-XF",
+    recovery=True,
+    requester_policy=RequesterPolicy.WAIT_WAKEUP,
+    priority_kind=PriorityKind.INSTS,
+    htmlock=True,
+    switching=True,
+    switching_on_faults=True,
+)
+
+STATIC_PRIORITY_SPEC = SystemSpec(
+    name="LockillerTM-RWS",
+    recovery=True,
+    requester_policy=RequesterPolicy.WAIT_WAKEUP,
+    priority_kind=PriorityKind.STATIC,
+)
+
+
+def extension_systems() -> Dict[str, SystemSpec]:
+    return {
+        s.name: s for s in (SWITCH_ON_FAULT_SPEC, STATIC_PRIORITY_SPEC)
+    }

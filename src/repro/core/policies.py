@@ -1,0 +1,103 @@
+"""System composition flags — the vocabulary of the paper's Table II.
+
+A :class:`SystemSpec` says which mechanisms are armed.  The named paper
+configurations (CGL, Baseline, LosaTM-SAFU, LockillerTM-RAI/RRI/RWI/RWL/
+RWIL, LockillerTM) are built from these flags in
+:mod:`repro.harness.systems`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.common.errors import ConfigError
+
+
+class RequesterPolicy(Enum):
+    """What a requester does when its conflicting request is rejected
+    (the three options of §III-A 'wake up rejected requests')."""
+
+    SELF_ABORT = auto()
+    RETRY_LATER = auto()
+    WAIT_WAKEUP = auto()
+
+
+class PriorityKind(Enum):
+    """User-defined transaction priority carried on requests (ARUSER)."""
+
+    NONE = auto()
+    #: Committed instructions in the current attempt (the paper's choice).
+    INSTS = auto()
+    #: Elapsed cycles in the current attempt (LosaTM-style progression).
+    PROGRESSION = auto()
+    #: Fixed, pre-assigned per-core priority — the alternative §III-A
+    #: discusses ("determined before the transaction and remain
+    #: unchanged"): no priority inversion, but picking good values is
+    #: hard and low-priority cores starve.  Kept as an extension for the
+    #: fairness ablation.
+    STATIC = auto()
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Which mechanisms a simulated machine arms."""
+
+    name: str
+    #: False => coarse-grained locking (CGL): every Txn under one lock.
+    use_htm: bool = True
+    #: Arm the recovery mechanism (NACK/reject of toxic requests).
+    recovery: bool = False
+    requester_policy: RequesterPolicy = RequesterPolicy.SELF_ABORT
+    priority_kind: PriorityKind = PriorityKind.NONE
+    #: Arm the HTMLock mechanism (TL lock transactions coexist with HTM).
+    htmlock: bool = False
+    #: Arm the switchingMode mechanism (STL proactive switch on overflow).
+    switching: bool = False
+    #: EXTENSION (not in the paper's Table II): also attempt the STL
+    #: switch on *exceptions*.  §III-C deliberately declines this —
+    #: "context switching during the transaction may introduce unknown
+    #: security risks" — but leaves it architecturally possible; this
+    #: flag implements it so the deferred design can be evaluated
+    #: (see benchmarks/bench_ext_switch_on_fault.py).
+    switching_on_faults: bool = False
+
+    def __post_init__(self) -> None:
+        if self.switching and not self.htmlock:
+            raise ConfigError(
+                f"{self.name}: switchingMode builds upon HTMLock (§III-C)"
+            )
+        if self.switching_on_faults and not self.switching:
+            raise ConfigError(
+                f"{self.name}: switching on faults extends switchingMode"
+            )
+        if self.htmlock and not self.recovery:
+            raise ConfigError(
+                f"{self.name}: HTMLock resolves its conflicts through the "
+                "recovery mechanism (§III-B challenge 1)"
+            )
+        if not self.use_htm and (
+            self.recovery or self.htmlock or self.switching
+        ):
+            raise ConfigError(f"{self.name}: CGL cannot arm HTM mechanisms")
+
+    @property
+    def is_cgl(self) -> bool:
+        return not self.use_htm
+
+    def describe(self) -> str:
+        if self.is_cgl:
+            return "coarse-grained locking"
+        parts = ["best-effort HTM (requester-wins)"]
+        if self.recovery:
+            parts.append(
+                f"recovery[{self.requester_policy.name.lower()}, "
+                f"priority={self.priority_kind.name.lower()}]"
+            )
+        if self.htmlock:
+            parts.append("HTMLock")
+        if self.switching:
+            parts.append("switchingMode")
+        if self.switching_on_faults:
+            parts.append("switchOnFault(ext)")
+        return " + ".join(parts)

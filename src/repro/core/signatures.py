@@ -1,0 +1,78 @@
+"""LLC overflow signatures for the HTMLock mechanism (§III-B, Fig. 5).
+
+Inspired by LogTM-SE, the LLC holds two hash signatures — ``OfRdSig`` and
+``OfWrSig`` — recording the lines of the HTMLock-mode transaction's read
+and write sets that overflowed out of its L1.  Membership tests are
+conservative (Bloom-filter false positives reject harmless requests but
+never miss a real conflict), which is safe: a false positive only costs a
+retry, a false negative would let an HTM transaction read or steal data
+the irrevocable lock transaction depends on.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+def _mix64(x: int) -> int:
+    x &= (1 << 64) - 1
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & ((1 << 64) - 1)
+    return x ^ (x >> 31)
+
+
+class BloomSignature:
+    """Fixed-size Bloom filter over cache-line addresses.
+
+    The bit array is a single Python int (cheap set/test via shifts);
+    ``k`` index functions come from double hashing of a 64-bit mix.
+    """
+
+    __slots__ = ("bits", "hashes", "_field", "inserted", "_seed")
+
+    def __init__(self, bits: int = 2048, hashes: int = 4, seed: int = 0) -> None:
+        if bits <= 0 or bits & (bits - 1):
+            raise ConfigError("signature size must be a positive power of two")
+        if hashes <= 0:
+            raise ConfigError("need at least one hash function")
+        self.bits = bits
+        self.hashes = hashes
+        self._field = 0
+        self.inserted = 0
+        self._seed = seed
+
+    def _indices(self, line: int):
+        h = _mix64(line ^ (self._seed * 0x9E3779B97F4A7C15))
+        h1 = h & 0xFFFFFFFF
+        h2 = (h >> 32) | 1  # odd => full-period double hashing
+        mask = self.bits - 1
+        for i in range(self.hashes):
+            yield (h1 + i * h2) & mask
+
+    def insert(self, line: int) -> None:
+        for idx in self._indices(line):
+            self._field |= 1 << idx
+        self.inserted += 1
+
+    def test(self, line: int) -> bool:
+        for idx in self._indices(line):
+            if not (self._field >> idx) & 1:
+                return False
+        return True
+
+    def clear(self) -> None:
+        self._field = 0
+        self.inserted = 0
+
+    @property
+    def empty(self) -> bool:
+        return self._field == 0
+
+    @property
+    def popcount(self) -> int:
+        return bin(self._field).count("1")
+
+    def false_positive_rate(self) -> float:
+        """Current theoretical FP probability given the fill level."""
+        fill = self.popcount / self.bits
+        return fill**self.hashes

@@ -1,0 +1,5 @@
+"""Experiment harness: Table-II systems and per-figure drivers."""
+
+from repro.harness.systems import SYSTEMS, get_system, system_names
+
+__all__ = ["SYSTEMS", "get_system", "system_names"]

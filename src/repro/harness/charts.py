@@ -1,0 +1,114 @@
+"""Terminal (ASCII) charts for breakdowns and speedup series.
+
+The paper's figures are stacked-bar and line charts; these helpers
+render the same data in plain text so the harness output is
+human-scannable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+#: One glyph per breakdown category, in the paper's stacking order.
+CATEGORY_GLYPHS = {
+    "htm": "#",
+    "aborted": "x",
+    "lock": "L",
+    "switchLock": "S",
+    "waitlock": ".",
+    "rollback": "r",
+    "non_tran": "-",
+}
+
+
+def stacked_bar(
+    fractions: Mapping[str, float],
+    width: int = 50,
+    glyphs: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render one stacked bar (fractions should sum to ~1)."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    glyphs = dict(glyphs or CATEGORY_GLYPHS)
+    cells: list = []
+    order = [k for k in glyphs if k in fractions] + [
+        k for k in fractions if k not in glyphs
+    ]
+    for key in order:
+        frac = max(0.0, fractions.get(key, 0.0))
+        n = int(round(frac * width))
+        cells.append(glyphs.get(key, "?") * n)
+    bar = "".join(cells)[:width]
+    return bar.ljust(width)
+
+
+def breakdown_chart(
+    rows: Mapping[str, Mapping[str, float]],
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Stacked bars, one per row (system or workload)."""
+    label_w = max((len(r) for r in rows), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, fractions in rows.items():
+        lines.append(
+            f"{label.rjust(label_w)} |{stacked_bar(fractions, width)}|"
+        )
+    legend = "  ".join(
+        f"{glyph}={name}" for name, glyph in CATEGORY_GLYPHS.items()
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)
+
+
+def hbar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "x",
+    baseline: Optional[float] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bars scaled to the maximum value.
+
+    ``baseline`` draws a tick (``|``) at that value — e.g. 1.0 for
+    speedup charts, making the win/lose boundary visible.
+    """
+    if not values:
+        raise ValueError("no values to chart")
+    vmax = max(values.values())
+    if vmax <= 0:
+        raise ValueError("values must contain a positive maximum")
+    label_w = max(len(k) for k in values)
+    lines = []
+    if title:
+        lines.append(title)
+    tick = (
+        int(round(baseline / vmax * width))
+        if baseline is not None and baseline <= vmax
+        else None
+    )
+    for label, v in values.items():
+        n = max(0, int(round(v / vmax * width)))
+        bar = list("=" * n + " " * (width - n))
+        if tick is not None and 0 <= tick < width:
+            bar[tick] = "|" if bar[tick] == " " else "+"
+        lines.append(
+            f"{label.rjust(label_w)} {''.join(bar)} {v:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_sparkline(series: Sequence[float], width: int = 0) -> str:
+    """Compact single-line trend (8-level blocks)."""
+    if not series:
+        raise ValueError("empty series")
+    blocks = " ▁▂▃▄▅▆▇█"
+    lo, hi = min(series), max(series)
+    span = hi - lo
+    out = []
+    for v in series:
+        level = 8 if span == 0 else int(round((v - lo) / span * 8))
+        out.append(blocks[level])
+    return "".join(out)

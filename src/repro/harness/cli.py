@@ -1,0 +1,244 @@
+"""Command-line interface for the experiment harness.
+
+Usage::
+
+    python -m repro.harness.cli table1
+    python -m repro.harness.cli table2
+    python -m repro.harness.cli fig1  [--scale 0.25] [--threads 2,8,32]
+    python -m repro.harness.cli fig7  [--systems Baseline,LockillerTM]
+    python -m repro.harness.cli fig8 | fig9 | fig10 | fig11 | fig12 | fig13
+    python -m repro.harness.cli run --workload intruder --system LockillerTM \
+        --threads 8 [--scale 0.25] [--seed 42] [--cache small|typical|large]
+
+``run`` executes a single configuration and prints the full statistics
+(cycles, breakdown, aborts, commit rate) — the building block the
+figures aggregate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common.params import (
+    large_cache_params,
+    small_cache_params,
+    typical_params,
+)
+from repro.harness.experiments import (
+    ExperimentContext,
+    print_fig1,
+    print_fig7,
+    print_fig8,
+    print_fig9,
+    print_fig10,
+    print_fig11,
+    print_fig12,
+    print_fig13,
+    table1_parameters,
+    table2_systems,
+)
+from repro.harness.reporting import format_table
+from repro.harness.systems import get_system
+from repro.sim.runner import RunConfig, run_workload
+from repro.workloads.registry import get_workload
+
+CACHE_CONFIGS = {
+    "small": small_cache_params,
+    "typical": typical_params,
+    "large": large_cache_params,
+}
+
+FIGURES = {
+    "fig1": print_fig1,
+    "fig7": print_fig7,
+    "fig8": print_fig8,
+    "fig9": print_fig9,
+    "fig10": print_fig10,
+    "fig11": print_fig11,
+    "fig12": print_fig12,
+    "fig13": print_fig13,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli",
+        description="LockillerTM reproduction experiment harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table I (system parameters)")
+    sub.add_parser("table2", help="print Table II (evaluated systems)")
+
+    for name in FIGURES:
+        p = sub.add_parser(name, help=f"regenerate {name} of the paper")
+        p.add_argument("--scale", type=float, default=None)
+        p.add_argument("--threads", type=str, default=None)
+        p.add_argument("--seed", type=int, default=42)
+        if name == "fig7":
+            p.add_argument("--systems", type=str, default=None)
+
+    run_p = sub.add_parser("run", help="run one (workload, system) pair")
+    run_p.add_argument("--workload", required=True)
+    run_p.add_argument("--system", required=True)
+    run_p.add_argument("--threads", type=int, default=8)
+    run_p.add_argument("--scale", type=float, default=0.25)
+    run_p.add_argument("--seed", type=int, default=42)
+    run_p.add_argument(
+        "--cache", choices=sorted(CACHE_CONFIGS), default="typical"
+    )
+
+    chart_p = sub.add_parser(
+        "chart", help="ASCII stacked-bar breakdown + speedup chart"
+    )
+    chart_p.add_argument("--workload", required=True)
+    chart_p.add_argument("--threads", type=int, default=8)
+    chart_p.add_argument("--scale", type=float, default=0.25)
+    chart_p.add_argument("--seed", type=int, default=42)
+    chart_p.add_argument(
+        "--systems",
+        type=str,
+        default="CGL,Baseline,LosaTM-SAFU,LockillerTM-RWI,LockillerTM",
+    )
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="random-program fuzzing of all systems"
+    )
+    fuzz_p.add_argument("--cases", type=int, default=25)
+    fuzz_p.add_argument("--seed", type=int, default=0)
+    fuzz_p.add_argument("--paranoid", action="store_true")
+    return parser
+
+
+def _make_ctx(args: argparse.Namespace) -> ExperimentContext:
+    kwargs = {}
+    if getattr(args, "scale", None) is not None:
+        kwargs["scale"] = args.scale
+    if getattr(args, "threads", None):
+        kwargs["threads"] = tuple(
+            int(x) for x in str(args.threads).split(",") if x
+        )
+    kwargs["seed"] = getattr(args, "seed", 42)
+    return ExperimentContext(**kwargs)
+
+
+def _run_single(args: argparse.Namespace) -> str:
+    stats = run_workload(
+        get_workload(args.workload),
+        RunConfig(
+            spec=get_system(args.system),
+            threads=args.threads,
+            scale=args.scale,
+            seed=args.seed,
+            params=CACHE_CONFIGS[args.cache](),
+        ),
+    )
+    merged = stats.merged()
+    rows = [
+        ("execution cycles", stats.execution_cycles),
+        ("commit rate", f"{stats.commit_rate:.3f}"),
+        ("commits (htm/lock/switched)",
+         f"{merged.commits_htm}/{merged.commits_lock}/{merged.commits_switched}"),
+        ("aborts", merged.total_aborts),
+        ("rejects received", merged.rejects_received),
+        ("wakeups sent", merged.wakeups_sent),
+        ("fallback entries", merged.fallback_entries),
+        ("switch attempts/successes",
+         f"{merged.switch_attempts}/{merged.switch_successes}"),
+        ("L1 hit rate",
+         f"{merged.l1_hits / max(1, merged.l1_hits + merged.l1_misses):.3f}"),
+    ]
+    out = [
+        f"{args.workload} on {args.system} "
+        f"({args.threads} threads, {args.cache} caches, scale={args.scale})",
+        format_table(["metric", "value"], rows),
+        "",
+        format_table(
+            ["time category", "fraction"],
+            [
+                (cat.value, f"{100 * frac:.1f}%")
+                for cat, frac in stats.time_fractions().items()
+            ],
+        ),
+        "",
+        format_table(
+            ["abort reason", "count"],
+            [
+                (r.value, n)
+                for r, n in stats.abort_breakdown().items()
+                if n
+            ] or [("(none)", 0)],
+        ),
+    ]
+    return "\n".join(out)
+
+
+def _chart(args: argparse.Namespace) -> str:
+    from repro.harness.charts import breakdown_chart, hbar_chart
+
+    systems = [s for s in args.systems.split(",") if s]
+    breakdowns = {}
+    cycles = {}
+    for name in systems:
+        stats = run_workload(
+            get_workload(args.workload),
+            RunConfig(
+                spec=get_system(name),
+                threads=args.threads,
+                scale=args.scale,
+                seed=args.seed,
+            ),
+        )
+        breakdowns[name] = {
+            c.value: f for c, f in stats.time_fractions().items()
+        }
+        cycles[name] = stats.execution_cycles
+    base = cycles.get("CGL", max(cycles.values()))
+    speedups = {name: base / c for name, c in cycles.items()}
+    return (
+        breakdown_chart(
+            breakdowns,
+            title=(
+                f"{args.workload}, {args.threads} threads — "
+                "execution-time breakdown"
+            ),
+        )
+        + "\n\n"
+        + hbar_chart(
+            speedups, baseline=1.0, title="speedup vs CGL"
+        )
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(table1_parameters())
+    elif args.command == "table2":
+        print(table2_systems())
+    elif args.command == "run":
+        print(_run_single(args))
+    elif args.command == "chart":
+        print(_chart(args))
+    elif args.command == "fuzz":
+        from repro.sim.fuzz import run_fuzz
+
+        report = run_fuzz(
+            cases=args.cases, seed=args.seed, paranoid=args.paranoid
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+    else:
+        ctx = _make_ctx(args)
+        printer = FIGURES[args.command]
+        if args.command == "fig7" and getattr(args, "systems", None):
+            print(printer(ctx, systems=args.systems.split(",")))
+        else:
+            print(printer(ctx))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Multi-seed experiment statistics.
+
+A single deterministic run answers "what happened"; publishing-quality
+numbers need "how stable is it".  This module repeats a configuration
+across seeds and reports mean, standard deviation, min/max and a normal
+approximation confidence half-width for any scalar metric, plus a
+convenience for seed-stable speedup ratios (paired by seed, as the paper
+compares systems on identical inputs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.params import SystemParams, typical_params
+from repro.common.stats import RunStats
+from repro.harness.systems import get_system
+from repro.sim.runner import RunConfig, run_workload
+from repro.workloads.registry import get_workload
+
+#: z for a ~95% two-sided normal interval.
+Z95 = 1.96
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @property
+    def ci95_half_width(self) -> float:
+        if self.n <= 1:
+            return 0.0
+        return Z95 * self.stdev / math.sqrt(self.n)
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation (relative spread)."""
+        if self.mean == 0:
+            return 0.0
+        return self.stdev / abs(self.mean)
+
+    def render(self, unit: str = "") -> str:
+        return (
+            f"{self.mean:.2f}{unit} ± {self.ci95_half_width:.2f} "
+            f"(n={self.n}, min={self.minimum:.2f}, max={self.maximum:.2f})"
+        )
+
+
+def summarize_values(values: Sequence[float]) -> MetricSummary:
+    if not values:
+        raise ValueError("no values to summarize")
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - 1) if n > 1 else 0.0
+    return MetricSummary(mean, math.sqrt(var), min(values), max(values), n)
+
+
+def multi_seed_runs(
+    workload: str,
+    system: str,
+    threads: int,
+    seeds: Sequence[int],
+    scale: float = 0.25,
+    params: Optional[SystemParams] = None,
+) -> List[RunStats]:
+    return [
+        run_workload(
+            get_workload(workload),
+            RunConfig(
+                spec=get_system(system),
+                threads=threads,
+                scale=scale,
+                seed=seed,
+                params=params or typical_params(),
+            ),
+        )
+        for seed in seeds
+    ]
+
+
+def metric_over_seeds(
+    workload: str,
+    system: str,
+    threads: int,
+    seeds: Sequence[int],
+    metric: Callable[[RunStats], float] = lambda s: float(s.execution_cycles),
+    scale: float = 0.25,
+    params: Optional[SystemParams] = None,
+) -> MetricSummary:
+    runs = multi_seed_runs(workload, system, threads, seeds, scale, params)
+    return summarize_values([metric(r) for r in runs])
+
+
+def paired_speedup(
+    workload: str,
+    baseline: str,
+    system: str,
+    threads: int,
+    seeds: Sequence[int],
+    scale: float = 0.25,
+    params: Optional[SystemParams] = None,
+) -> MetricSummary:
+    """Speedup of ``system`` over ``baseline``, paired per seed.
+
+    Pairing removes the between-input variance: both systems see the
+    exact same generated programs for each seed (as in the paper, where
+    every system runs the same binaries).
+    """
+    base_runs = multi_seed_runs(
+        workload, baseline, threads, seeds, scale, params
+    )
+    sys_runs = multi_seed_runs(workload, system, threads, seeds, scale, params)
+    ratios = [
+        b.execution_cycles / s.execution_cycles
+        for b, s in zip(base_runs, sys_runs)
+    ]
+    return summarize_values(ratios)
+
+
+def stability_report(
+    workloads: Sequence[str],
+    system: str,
+    threads: int,
+    seeds: Sequence[int],
+    scale: float = 0.2,
+) -> Dict[str, MetricSummary]:
+    """Execution-time stability (CoV) per workload — the lens under
+    which the paper excluded bayes."""
+    return {
+        wl: metric_over_seeds(wl, system, threads, seeds, scale=scale)
+        for wl in workloads
+    }

@@ -1,0 +1,77 @@
+"""Plain-text reporting helpers for the experiment harness.
+
+The benchmarks print the same rows/series the paper's figures plot;
+these helpers keep that output aligned and diff-friendly so
+EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    str_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths[: len(headers)]))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_breakdown_table(
+    data: Mapping[str, Mapping[str, float]],
+    row_order: Sequence[str],
+    col_order: Sequence[str],
+    title: Optional[str] = None,
+    as_percent: bool = True,
+) -> str:
+    """Rows = systems/workloads, columns = categories (fractions)."""
+    headers = ["", *col_order]
+    rows = []
+    for r in row_order:
+        cells: List[object] = [r]
+        for c in col_order:
+            v = data.get(r, {}).get(c, 0.0)
+            cells.append(f"{100 * v:.1f}%" if as_percent else f"{v:.3f}")
+        rows.append(cells)
+    return format_table(headers, rows, title=title)
+
+
+def format_series(
+    series: Mapping[str, Mapping[int, float]],
+    x_label: str = "threads",
+    title: Optional[str] = None,
+) -> str:
+    """One row per named series, one column per x value."""
+    xs = sorted({x for vals in series.values() for x in vals})
+    headers = [x_label, *[str(x) for x in xs]]
+    rows = []
+    for name, vals in series.items():
+        rows.append([name, *[vals.get(x, float("nan")) for x in xs]])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,202 @@
+"""Generic parameter-sweep driver.
+
+The figure drivers in :mod:`repro.harness.experiments` cover the paper's
+grids; this module generalizes them: declare axes (workloads, systems,
+thread counts, cache configs, seeds, HTM parameter overrides), get back
+a tidy list of records you can filter/aggregate, with optional progress
+reporting and a run cache.  Used by the ablation benches and available
+to downstream users exploring their own design space.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.common.params import SystemParams, typical_params
+from repro.common.stats import RunStats
+from repro.core.policies import SystemSpec
+from repro.harness.systems import get_system
+from repro.sim.runner import RunConfig, run_workload
+from repro.workloads.registry import get_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the sweep grid."""
+
+    workload: str
+    system: str
+    threads: int
+    seed: int
+    params_tag: str = "typical"
+
+    def label(self) -> str:
+        return (
+            f"{self.workload}/{self.system}/t{self.threads}"
+            f"/s{self.seed}/{self.params_tag}"
+        )
+
+
+@dataclass
+class SweepRecord:
+    point: SweepPoint
+    stats: RunStats
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.execution_cycles
+
+    @property
+    def commit_rate(self) -> float:
+        return self.stats.commit_rate
+
+
+@dataclass
+class Sweep:
+    """Cartesian sweep definition."""
+
+    workloads: Sequence[str]
+    systems: Sequence[str]
+    threads: Sequence[int] = (8,)
+    seeds: Sequence[int] = (42,)
+    scale: float = 0.25
+    #: Named machine configurations; default only "typical".
+    params_by_tag: Mapping[str, SystemParams] = field(
+        default_factory=lambda: {"typical": typical_params()}
+    )
+    #: Optional spec resolver for systems outside Table II.
+    spec_resolver: Callable[[str], SystemSpec] = get_system
+
+    def points(self) -> Iterable[SweepPoint]:
+        for wl, system, th, seed, tag in itertools.product(
+            self.workloads,
+            self.systems,
+            self.threads,
+            self.seeds,
+            self.params_by_tag,
+        ):
+            yield SweepPoint(wl, system, th, seed, tag)
+
+    def size(self) -> int:
+        return (
+            len(self.workloads)
+            * len(self.systems)
+            * len(self.threads)
+            * len(self.seeds)
+            * len(self.params_by_tag)
+        )
+
+    def run(
+        self,
+        progress: Optional[Callable[[SweepPoint, int, int], None]] = None,
+    ) -> "SweepResults":
+        records: List[SweepRecord] = []
+        total = self.size()
+        for i, point in enumerate(self.points()):
+            stats = run_workload(
+                get_workload(point.workload),
+                RunConfig(
+                    spec=self.spec_resolver(point.system),
+                    threads=point.threads,
+                    scale=self.scale,
+                    seed=point.seed,
+                    params=self.params_by_tag[point.params_tag],
+                ),
+            )
+            records.append(SweepRecord(point, stats))
+            if progress is not None:
+                progress(point, i + 1, total)
+        return SweepResults(records)
+
+
+class SweepResults:
+    """Query interface over sweep records."""
+
+    def __init__(self, records: List[SweepRecord]) -> None:
+        self.records = records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def filter(self, **criteria) -> "SweepResults":
+        def match(r: SweepRecord) -> bool:
+            return all(
+                getattr(r.point, key) == value
+                for key, value in criteria.items()
+            )
+
+        return SweepResults([r for r in self.records if match(r)])
+
+    def one(self, **criteria) -> SweepRecord:
+        matches = self.filter(**criteria).records
+        if len(matches) != 1:
+            raise KeyError(
+                f"{len(matches)} records match {criteria!r}; expected 1"
+            )
+        return matches[0]
+
+    def speedups_vs(self, baseline_system: str) -> Dict[SweepPoint, float]:
+        """Per-point speedup relative to the same cell on ``baseline``."""
+        base: Dict[tuple, int] = {}
+        for r in self.records:
+            if r.point.system == baseline_system:
+                key = (
+                    r.point.workload,
+                    r.point.threads,
+                    r.point.seed,
+                    r.point.params_tag,
+                )
+                base[key] = r.cycles
+        out: Dict[SweepPoint, float] = {}
+        for r in self.records:
+            if r.point.system == baseline_system:
+                continue
+            key = (
+                r.point.workload,
+                r.point.threads,
+                r.point.seed,
+                r.point.params_tag,
+            )
+            if key in base:
+                out[r.point] = base[key] / r.cycles
+        return out
+
+    def pivot(
+        self,
+        value: Callable[[SweepRecord], float],
+        rows: str = "system",
+        cols: str = "threads",
+    ) -> Dict[object, Dict[object, float]]:
+        """Aggregate (mean) a metric into rows x cols."""
+        acc: Dict[object, Dict[object, List[float]]] = {}
+        for r in self.records:
+            rkey = getattr(r.point, rows)
+            ckey = getattr(r.point, cols)
+            acc.setdefault(rkey, {}).setdefault(ckey, []).append(value(r))
+        return {
+            rkey: {ckey: sum(vs) / len(vs) for ckey, vs in row.items()}
+            for rkey, row in acc.items()
+        }
+
+
+def small_vs_typical_sweep(
+    workloads: Sequence[str],
+    systems: Sequence[str],
+    threads: Sequence[int] = (8,),
+    scale: float = 0.2,
+) -> Sweep:
+    """Convenience: the Fig.-13 style two-cache-config sweep."""
+    from repro.common.params import small_cache_params
+
+    return Sweep(
+        workloads=workloads,
+        systems=systems,
+        threads=threads,
+        scale=scale,
+        params_by_tag={
+            "typical": typical_params(),
+            "small": small_cache_params(),
+        },
+    )

@@ -1,0 +1,112 @@
+"""Table II: the evaluated systems.
+
+=================  ========================================================
+CGL                coarse-grained locking, transaction granularity
+Baseline           best-effort HTM with requester-wins
+LosaTM-SAFU        LosaTM without false-sharing / capacity-overflow opts
+LockillerTM-RAI    Baseline + Recovery + SelfAbort + InstsBasedPriority
+LockillerTM-RRI    Baseline + Recovery + SelfRetryLater + InstsBasedPriority
+LockillerTM-RWI    Baseline + Recovery + WaitWakeup + InstsBasedPriority
+LockillerTM-RWL    Baseline + Recovery + WaitWakeup + HTMLock
+LockillerTM-RWIL   LockillerTM-RWI + HTMLock
+LockillerTM        LockillerTM-RWI + HTMLock + SwitchingMode
+=================  ========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.cgl import CGL_SPEC
+from repro.baselines.losatm import LOSATM_SAFU_SPEC
+from repro.common.errors import ConfigError
+from repro.core.policies import PriorityKind, RequesterPolicy, SystemSpec
+
+BASELINE_SPEC = SystemSpec(name="Baseline")
+
+RAI_SPEC = SystemSpec(
+    name="LockillerTM-RAI",
+    recovery=True,
+    requester_policy=RequesterPolicy.SELF_ABORT,
+    priority_kind=PriorityKind.INSTS,
+)
+
+RRI_SPEC = SystemSpec(
+    name="LockillerTM-RRI",
+    recovery=True,
+    requester_policy=RequesterPolicy.RETRY_LATER,
+    priority_kind=PriorityKind.INSTS,
+)
+
+RWI_SPEC = SystemSpec(
+    name="LockillerTM-RWI",
+    recovery=True,
+    requester_policy=RequesterPolicy.WAIT_WAKEUP,
+    priority_kind=PriorityKind.INSTS,
+)
+
+RWL_SPEC = SystemSpec(
+    name="LockillerTM-RWL",
+    recovery=True,
+    requester_policy=RequesterPolicy.WAIT_WAKEUP,
+    priority_kind=PriorityKind.NONE,
+    htmlock=True,
+)
+
+RWIL_SPEC = SystemSpec(
+    name="LockillerTM-RWIL",
+    recovery=True,
+    requester_policy=RequesterPolicy.WAIT_WAKEUP,
+    priority_kind=PriorityKind.INSTS,
+    htmlock=True,
+)
+
+LOCKILLER_SPEC = SystemSpec(
+    name="LockillerTM",
+    recovery=True,
+    requester_policy=RequesterPolicy.WAIT_WAKEUP,
+    priority_kind=PriorityKind.INSTS,
+    htmlock=True,
+    switching=True,
+)
+
+SYSTEMS: Dict[str, SystemSpec] = {
+    s.name: s
+    for s in (
+        CGL_SPEC,
+        BASELINE_SPEC,
+        LOSATM_SAFU_SPEC,
+        RAI_SPEC,
+        RRI_SPEC,
+        RWI_SPEC,
+        RWL_SPEC,
+        RWIL_SPEC,
+        LOCKILLER_SPEC,
+    )
+}
+
+#: Table II presentation order.
+TABLE_ORDER: List[str] = [
+    "CGL",
+    "Baseline",
+    "LosaTM-SAFU",
+    "LockillerTM-RAI",
+    "LockillerTM-RRI",
+    "LockillerTM-RWI",
+    "LockillerTM-RWL",
+    "LockillerTM-RWIL",
+    "LockillerTM",
+]
+
+
+def system_names() -> List[str]:
+    return list(TABLE_ORDER)
+
+
+def get_system(name: str) -> SystemSpec:
+    try:
+        return SYSTEMS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown system {name!r}; choose from {TABLE_ORDER}"
+        ) from None

@@ -1,0 +1,36 @@
+"""Best-effort HTM substrate: ISA, transaction state, fallback lock."""
+
+from repro.htm.isa import (
+    OP_COMPUTE,
+    OP_FAULT,
+    OP_LOAD,
+    OP_STORE,
+    Op,
+    Plain,
+    Segment,
+    Txn,
+    compute,
+    fault,
+    load,
+    store,
+)
+from repro.htm.txstate import TxMode, TxState
+from repro.htm.fallback import LockManager
+
+__all__ = [
+    "OP_COMPUTE",
+    "OP_LOAD",
+    "OP_STORE",
+    "OP_FAULT",
+    "Op",
+    "Segment",
+    "Plain",
+    "Txn",
+    "compute",
+    "load",
+    "store",
+    "fault",
+    "TxMode",
+    "TxState",
+    "LockManager",
+]

@@ -1,0 +1,149 @@
+"""Micro-op ISA and program representation for the simulated cores.
+
+A thread program is a list of :class:`Segment`; each segment is either
+:class:`Plain` (non-transactional work) or :class:`Txn` (a critical
+section).  How a ``Txn`` executes depends on the machine: coarse-grained
+lock (CGL), best-effort HTM with the Listing-1 elision loop, or the
+LockillerTM variants (Listing 2).
+
+Micro-ops are plain tuples ``(opcode, a, b)`` of ints, interpreted by
+:mod:`repro.sim.cpu`.  Keeping them as tuples (not objects) keeps the
+interpreter loop allocation-free, per the HPC guidance.
+
+Opcodes
+=======
+
+``OP_COMPUTE n``
+    ``n`` cycles of single-issue ALU work (CPI = 1, so also ``n``
+    committed instructions for the insts-based priority).
+``OP_LOAD addr``
+    Read one word; tracked in the transaction read set when speculative.
+``OP_STORE addr delta``
+    Read-modify-write adding ``delta`` to the word at ``addr``.  Additive
+    semantics make the final memory state order-independent, so the
+    workloads can assert exact functional invariants regardless of the
+    commit interleaving.
+``OP_FAULT persistent``
+    Raise an exception at this point.  Aborts a speculative transaction
+    (reason ``fault``); survivable in any lock mode.  ``persistent=0``
+    models a page fault that is resolved once taken (retries do not fault
+    again); ``persistent=1`` re-faults on every speculative attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+OP_COMPUTE = 0
+OP_LOAD = 1
+OP_STORE = 2
+OP_FAULT = 3
+
+#: One micro-op: (opcode, a, b).
+Op = Tuple[int, int, int]
+
+OP_NAMES = {
+    OP_COMPUTE: "COMPUTE",
+    OP_LOAD: "LOAD",
+    OP_STORE: "STORE",
+    OP_FAULT: "FAULT",
+}
+
+
+def compute(cycles: int) -> Op:
+    """``cycles`` cycles of local computation."""
+    if cycles <= 0:
+        raise ValueError("compute must take at least 1 cycle")
+    return (OP_COMPUTE, cycles, 0)
+
+
+def load(addr: int) -> Op:
+    """Read the word at byte address ``addr``."""
+    if addr < 0:
+        raise ValueError("negative address")
+    return (OP_LOAD, addr, 0)
+
+
+def store(addr: int, delta: int = 0) -> Op:
+    """Add ``delta`` to the word at ``addr`` (read-modify-write)."""
+    if addr < 0:
+        raise ValueError("negative address")
+    return (OP_STORE, addr, delta)
+
+
+def fault(persistent: bool = False) -> Op:
+    """Exception point (page fault by default: resolved after one trip)."""
+    return (OP_FAULT, 1 if persistent else 0, 0)
+
+
+@dataclass
+class Segment:
+    """Base class for program segments."""
+
+    ops: List[Op]
+
+    def __post_init__(self) -> None:
+        for op in self.ops:
+            if not (isinstance(op, tuple) and len(op) == 3):
+                raise ValueError(f"malformed op {op!r}")
+            if op[0] not in OP_NAMES:
+                raise ValueError(f"unknown opcode {op[0]}")
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class Plain(Segment):
+    """Non-transactional work; time billed to the ``non_tran`` category."""
+
+
+@dataclass
+class Txn(Segment):
+    """A critical section (transaction).
+
+    ``tag`` is free-form workload metadata (useful in traces/tests).
+    """
+
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if any(op[0] == OP_FAULT for op in self.ops) and not self.ops:
+            raise ValueError("fault in empty txn")
+
+    def read_lines(self) -> set:
+        """Distinct cache lines read (including RMW stores)."""
+        return {op[1] >> 6 for op in self.ops if op[0] in (OP_LOAD, OP_STORE)}
+
+    def write_lines(self) -> set:
+        return {op[1] >> 6 for op in self.ops if op[0] == OP_STORE}
+
+
+Program = List[Segment]
+
+
+def program_stats(program: Sequence[Segment]) -> dict:
+    """Quick structural summary used by workload tests."""
+    txns = [s for s in program if isinstance(s, Txn)]
+    loads = sum(
+        1 for s in program for op in s.ops if op[0] == OP_LOAD
+    )
+    stores = sum(
+        1 for s in program for op in s.ops if op[0] == OP_STORE
+    )
+    faults = sum(
+        1 for s in program for op in s.ops if op[0] == OP_FAULT
+    )
+    return {
+        "segments": len(program),
+        "txns": len(txns),
+        "loads": loads,
+        "stores": stores,
+        "faults": faults,
+        "mean_tx_ops": (
+            sum(len(t.ops) for t in txns) / len(txns) if txns else 0.0
+        ),
+    }

@@ -1,0 +1,7 @@
+"""On-chip interconnect: 2-D mesh topology, X-Y routing, latency model."""
+
+from repro.interconnect.topology import MeshTopology
+from repro.interconnect.network import NetworkModel
+from repro.interconnect.message import MessageClass
+
+__all__ = ["MeshTopology", "NetworkModel", "MessageClass"]

@@ -1,0 +1,73 @@
+"""Coherence message vocabulary, including the paper's extensions.
+
+The protocol-visible message types follow the MESI directory protocol
+plus the LockillerTM additions of §III-A:
+
+* ``NACK`` — the probed owner invalidated itself and tells the directory
+  to source the data itself (Fig. 3 red path).
+* ``REJECT`` — a data-less response telling the *requester* its request
+  lost the priority comparison and was withdrawn (encodable on the ACE
+  CRRESP signal per the paper).
+* ``WAKEUP`` — retry notification sent at commit/abort time to cores that
+  were previously rejected (ACE stash-like, AWSNOOP extension).
+
+The timing model only needs each message's *class* (control vs data) to
+price it in flits; the enum keeps protocol traces readable and lets
+tests assert on the exact message mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class MessageClass(Enum):
+    CONTROL = auto()
+    DATA = auto()
+
+
+class MsgType(Enum):
+    # Requests (control)
+    GETS = auto()
+    GETM = auto()
+    UPGRADE = auto()
+    PUTM = auto()
+    # Forwarded probes (control)
+    FWD_GETS = auto()
+    FWD_GETM = auto()
+    INV = auto()
+    # Responses
+    DATA_EXCLUSIVE = auto()
+    DATA_SHARED = auto()
+    INV_ACK = auto()
+    WB_ACK = auto()
+    UNBLOCK = auto()
+    # LockillerTM extensions (§III-A)
+    NACK = auto()
+    REJECT = auto()
+    WAKEUP = auto()
+
+    @property
+    def msg_class(self) -> MessageClass:
+        if self in (MsgType.DATA_EXCLUSIVE, MsgType.DATA_SHARED, MsgType.PUTM):
+            return MessageClass.DATA
+        return MessageClass.CONTROL
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message; used for tracing and latency accounting."""
+
+    mtype: MsgType
+    src_tile: int
+    dst_tile: int
+    line: int
+    #: User-defined priority payload (ARUSER field per §III-A); only
+    #: meaningful on requests under the recovery mechanism.
+    priority: int = 0
+    requester: int = -1
+
+    @property
+    def msg_class(self) -> MessageClass:
+        return self.mtype.msg_class

@@ -1,0 +1,115 @@
+"""Latency model for the mesh interconnect.
+
+A message crossing ``h`` hops with ``f`` flits on 1-flit/cycle links with
+1-cycle routers costs::
+
+    h * (link_latency + router_latency) + (f - 1)
+
+i.e. store-and-forward per hop for the head flit plus pipeline
+serialization for the body flits (wormhole tail latency).  Per DESIGN.md
+we do not model link *contention*; directory-bank serialization (modeled
+in the coherence layer) is the first-order queueing effect for STAMP on
+32 cores.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.common.params import NetworkParams
+from repro.interconnect.message import MessageClass, MsgType
+from repro.interconnect.topology import MeshTopology
+
+
+class NetworkModel:
+    """Prices messages between tiles.
+
+    Default mode is stateless hop-latency pricing.  With
+    ``params.model_contention`` (extension), each directional link keeps
+    a ``busy_until`` window and messages sharing a link serialize; the
+    current simulation time is read from :attr:`clock` (wired by the
+    Machine), so component call sites stay unchanged.
+    """
+
+    __slots__ = (
+        "topology",
+        "params",
+        "_per_hop",
+        "_data_tail",
+        "_ctrl_tail",
+        "messages_sent",
+        "flits_sent",
+        "hops_traversed",
+        "clock",
+        "_link_busy",
+        "link_stalls",
+    )
+
+    def __init__(self, topology: MeshTopology, params: NetworkParams) -> None:
+        self.topology = topology
+        self.params = params
+        self._per_hop = params.link_latency + params.router_latency
+        self._data_tail = params.data_flits - 1
+        self._ctrl_tail = params.control_flits - 1
+        self.messages_sent = 0
+        self.flits_sent = 0
+        self.hops_traversed = 0
+        #: Simulation clock; wired by the Machine when contention
+        #: modeling is armed (defaults to a constant 0 = relative time).
+        self.clock: Optional[Callable[[], int]] = None
+        self._link_busy: Dict[Tuple[int, int], int] = {}
+        self.link_stalls = 0
+
+    def latency(self, src_tile: int, dst_tile: int, msg_class: MessageClass) -> int:
+        """Cycles for one message from ``src_tile`` to ``dst_tile``."""
+        hops = self.topology.hops(src_tile, dst_tile)
+        tail = (
+            self._data_tail
+            if msg_class is MessageClass.DATA
+            else self._ctrl_tail
+        )
+        flits = tail + 1
+        self.messages_sent += 1
+        self.flits_sent += flits
+        self.hops_traversed += hops
+        if self.params.model_contention:
+            return self._traverse(src_tile, dst_tile, flits, tail)
+        if hops == 0:
+            # Local delivery still crosses the tile's router once.
+            return self.params.router_latency + tail
+        return hops * self._per_hop + tail
+
+    def _traverse(
+        self, src_tile: int, dst_tile: int, flits: int, tail: int
+    ) -> int:
+        """Walk the X-Y route reserving each directional link."""
+        now = self.clock() if self.clock is not None else 0
+        if src_tile == dst_tile:
+            return self.params.router_latency + tail
+        t = now
+        route = self.topology.route(src_tile, dst_tile)
+        busy = self._link_busy
+        for a, b in zip(route, route[1:]):
+            key = (a, b)
+            ready = busy.get(key, 0)
+            if ready > t:
+                self.link_stalls += 1
+                t = ready
+            # The link is occupied while all flits stream across it.
+            busy[key] = t + flits * self.params.link_latency
+            t += self._per_hop
+        t += tail
+        return max(1, t - now)
+
+    def latency_for(self, src_tile: int, dst_tile: int, mtype: MsgType) -> int:
+        return self.latency(src_tile, dst_tile, mtype.msg_class)
+
+    def control_latency(self, src_tile: int, dst_tile: int) -> int:
+        return self.latency(src_tile, dst_tile, MessageClass.CONTROL)
+
+    def data_latency(self, src_tile: int, dst_tile: int) -> int:
+        return self.latency(src_tile, dst_tile, MessageClass.DATA)
+
+    def round_trip(self, a: int, b: int) -> int:
+        """Control request + data response between two tiles."""
+        return self.control_latency(a, b) + self.data_latency(b, a)

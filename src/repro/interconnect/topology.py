@@ -1,0 +1,103 @@
+"""2-D mesh topology with X-Y (dimension-ordered) routing.
+
+Tiles are numbered row-major on a ``cols x rows`` grid (Table I: 4x8).
+Each tile hosts one core, its private L1, and one address-interleaved
+bank of the shared LLC.  X-Y routing goes fully along X first, then
+along Y; it is deadlock-free and deterministic, so the hop count between
+two tiles is simply the Manhattan distance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.params import NetworkParams
+
+
+class MeshTopology:
+    """Geometry queries over the tiled mesh."""
+
+    __slots__ = ("cols", "rows", "_hops")
+
+    def __init__(self, params: NetworkParams) -> None:
+        if params.mesh_cols <= 0 or params.mesh_rows <= 0:
+            raise ConfigError("mesh dimensions must be positive")
+        self.cols = params.mesh_cols
+        self.rows = params.mesh_rows
+        n = self.cols * self.rows
+        # Precompute the full hop matrix; n is small (32 tiles) and this
+        # removes divmod from the per-message hot path.
+        self._hops: List[List[int]] = [
+            [
+                abs(a % self.cols - b % self.cols)
+                + abs(a // self.cols - b // self.cols)
+                for b in range(n)
+            ]
+            for a in range(n)
+        ]
+
+    @property
+    def num_tiles(self) -> int:
+        return self.cols * self.rows
+
+    def coords(self, tile: int) -> Tuple[int, int]:
+        """(x, y) position of ``tile`` on the grid."""
+        self._check(tile)
+        return tile % self.cols, tile // self.cols
+
+    def tile_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.cols and 0 <= y < self.rows):
+            raise ConfigError(f"({x},{y}) outside {self.cols}x{self.rows} mesh")
+        return y * self.cols + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two tiles (X-Y route length).
+
+        Hot path: called per message; bounds are enforced by the matrix
+        lookup itself (IndexError on garbage), not re-checked.
+        """
+        return self._hops[src][dst]
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """The exact tile sequence an X-Y-routed message traverses."""
+        self._check(src)
+        self._check(dst)
+        sx, sy = src % self.cols, src // self.cols
+        dx, dy = dst % self.cols, dst // self.cols
+        path = [src]
+        x, y = sx, sy
+        step = 1 if dx > sx else -1
+        while x != dx:
+            x += step
+            path.append(y * self.cols + x)
+        step = 1 if dy > sy else -1
+        while y != dy:
+            y += step
+            path.append(y * self.cols + x)
+        return path
+
+    def home_tile(self, line: int) -> int:
+        """LLC bank (tile) owning directory state for ``line``.
+
+        Address-interleaved at line granularity, the standard tiled-CMP
+        arrangement the paper assumes for its shared L2.
+        """
+        return line % self.num_tiles
+
+    def neighbors(self, tile: int) -> Iterator[int]:
+        x, y = self.coords(tile)
+        if x > 0:
+            yield tile - 1
+        if x < self.cols - 1:
+            yield tile + 1
+        if y > 0:
+            yield tile - self.cols
+        if y < self.rows - 1:
+            yield tile + self.cols
+
+    def _check(self, tile: int) -> None:
+        if not (0 <= tile < self.num_tiles):
+            raise ConfigError(
+                f"tile {tile} outside mesh of {self.num_tiles} tiles"
+            )

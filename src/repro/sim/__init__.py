@@ -1,0 +1,7 @@
+"""Discrete-event simulation core: engine, CPU model, machine, runner."""
+
+from repro.sim.engine import SimEngine
+from repro.sim.machine import Machine
+from repro.sim.runner import run_workload, RunConfig
+
+__all__ = ["SimEngine", "Machine", "run_workload", "RunConfig"]

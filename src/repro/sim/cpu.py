@@ -1,0 +1,549 @@
+"""In-order core model executing micro-op programs.
+
+One :class:`CPU` per hardware thread.  Each instruction is an event:
+computes advance the clock by their cycle count, memory ops go through
+:class:`~repro.coherence.memsys.MemorySystem` and schedule their
+continuation after the returned latency.  Critical sections run under
+one of four regimes, selected by the machine's :class:`SystemSpec`:
+
+* **CGL** — acquire the global lock, execute non-speculatively, release.
+* **best-effort HTM** (Listing 1) — speculative attempts with the
+  requester-wins or recovery conflict manager; the fallback path takes
+  the lock and (without HTMLock) kills every running transaction.
+* **HTMLock** (Listing 1 greyed lines) — the fallback path enters TL
+  mode: irrevocable but set-tracked, coexisting with HTM transactions.
+* **switchingMode** (Listing 2 / Fig. 6) — an HTM transaction hitting a
+  capacity overflow may switch to STL mode via LLC arbitration.
+
+Execution-time billing follows the paper's categories; see
+:mod:`repro.common.stats`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.rng import SplitMix64, derive_seed
+from repro.common.stats import AbortReason, CoreStats, TimeCat
+from repro.coherence.memsys import GRANT, OVERFLOW, REJECT, AccessResult
+from repro.core.policies import RequesterPolicy
+from repro.htm.isa import OP_COMPUTE, OP_FAULT, OP_STORE, Plain, Txn
+from repro.htm.txstate import TxMode, TxState
+
+
+class CPU:
+    """One in-order, single-issue core."""
+
+    def __init__(self, core: int, tile: int, machine, program, seed: int) -> None:
+        self.core = core
+        self.tile = tile
+        self.machine = machine
+        self.engine = machine.engine
+        self.memsys = machine.memsys
+        self.spec = machine.spec
+        self.htm_params = machine.params.htm
+        self.program = program
+        self.stats: CoreStats = machine.core_stats[core]
+        self.tx = TxState(core)
+        self.rng = SplitMix64(derive_seed(seed, "cpu", core))
+
+        self.seg_idx = 0
+        self.op_idx = 0
+        self.done = False
+        self.finish_time: Optional[int] = None
+
+        self.retries_left = 0
+        self.capacity_retries_left = 0
+        self.attempts_this_txn = 0
+        self._attempt_t0 = 0
+        #: (attempt_seq, park_seq) while parked on a wake-up, else None.
+        self._parked: Optional[Tuple[int, int]] = None
+        self._park_seq = 0
+        #: Fault ops already taken once (page mapped after first trip).
+        self._faults_taken: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Billing helpers
+    # ------------------------------------------------------------------
+
+    def _bill(self, cat: TimeCat, cycles: int) -> None:
+        if cycles > 0:
+            self.stats.add_time(cat, cycles)
+
+    # ------------------------------------------------------------------
+    # Top-level program driver
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.engine.schedule(0, self._advance)
+
+    def _advance(self, now: int) -> None:
+        if self.done:
+            return
+        if self.seg_idx >= len(self.program):
+            self.done = True
+            self.finish_time = now
+            self.machine.core_finished(self.core, now)
+            return
+        seg = self.program[self.seg_idx]
+        if isinstance(seg, Txn):
+            self._txn_entry(now)
+        else:
+            self.op_idx = 0
+            self._plain_step(now, now)
+
+    def _segment_done(self, now: int) -> None:
+        self.seg_idx += 1
+        self.op_idx = 0
+        self._advance(now)
+
+    # ------------------------------------------------------------------
+    # Plain (non-transactional) segments
+    # ------------------------------------------------------------------
+
+    def _plain_step(self, now: int, span_t0: int) -> None:
+        seg = self.program[self.seg_idx]
+        ops = seg.ops
+        if self.op_idx >= len(ops):
+            self._bill(TimeCat.NON_TRAN, now - span_t0)
+            self._segment_done(now)
+            return
+        op = ops[self.op_idx]
+        kind = op[0]
+        if kind == OP_COMPUTE:
+            self.op_idx += 1
+            self.engine.schedule_after(
+                op[1], lambda t: self._plain_step(t, span_t0)
+            )
+        elif kind == OP_FAULT:
+            self.op_idx += 1
+            self.engine.schedule_after(
+                self.htm_params.trap_latency,
+                lambda t: self._plain_step(t, span_t0),
+            )
+        else:
+            is_write = kind == OP_STORE
+            res = self.memsys.access(self.core, op[1], is_write, now)
+            if res.status == GRANT:
+                self._apply_functional(op, is_write)
+                self.op_idx += 1
+                self.engine.schedule_after(
+                    res.latency, lambda t: self._plain_step(t, span_t0)
+                )
+            elif res.status == REJECT:
+                # Plain access bounced off an HTMLock-mode transaction:
+                # hardware retry after a pause.
+                delay = res.latency + self.htm_params.plain_retry_delay
+                self.engine.schedule_after(
+                    delay, lambda t: self._plain_step(t, span_t0)
+                )
+            else:  # pragma: no cover - plain accesses cannot overflow
+                raise SimulationError("plain access reported overflow")
+
+    def _apply_functional(self, op, is_write: bool) -> None:
+        if is_write:
+            self.stats.stores += 1
+            self.memsys.functional_store(self.core, op[1], op[2])
+        else:
+            self.stats.loads += 1
+
+    # ------------------------------------------------------------------
+    # Critical-section entry
+    # ------------------------------------------------------------------
+
+    def _txn_entry(self, now: int) -> None:
+        if self.spec.is_cgl:
+            self._cgl_start(now)
+            return
+        self.retries_left = self.htm_params.max_retries
+        self.capacity_retries_left = self.htm_params.capacity_retries
+        self.attempts_this_txn = 0
+        self._tx_try(now)
+
+    # -- CGL -------------------------------------------------------------
+
+    def _cgl_start(self, now: int) -> None:
+        lock = self.machine.global_lock
+        lock.acquire(
+            self.core, now, lambda t: self._cgl_locked(t, wait_t0=now)
+        )
+
+    def _cgl_locked(self, now: int, wait_t0: int) -> None:
+        self._bill(TimeCat.WAITLOCK, now - wait_t0)
+        self.stats.tx_attempts += 1
+        self.op_idx = 0
+        self._cgl_step(now, crit_t0=now)
+
+    def _cgl_step(self, now: int, crit_t0: int) -> None:
+        seg = self.program[self.seg_idx]
+        ops = seg.ops
+        if self.op_idx >= len(ops):
+            self.machine.global_lock.release(self.core, now)
+            self._bill(TimeCat.LOCK, now - crit_t0)
+            self.stats.commit_latency_hist.record(now - crit_t0)
+            self.stats.commits_lock += 1
+            self._segment_done(now)
+            return
+        op = ops[self.op_idx]
+        kind = op[0]
+        if kind == OP_COMPUTE:
+            self.op_idx += 1
+            self.engine.schedule_after(
+                op[1], lambda t: self._cgl_step(t, crit_t0)
+            )
+        elif kind == OP_FAULT:
+            self.op_idx += 1
+            self.engine.schedule_after(
+                self.htm_params.trap_latency,
+                lambda t: self._cgl_step(t, crit_t0),
+            )
+        else:
+            is_write = kind == OP_STORE
+            res = self.memsys.access(self.core, op[1], is_write, now)
+            if res.status != GRANT:  # pragma: no cover - no HTM holders
+                raise SimulationError("CGL access was not granted")
+            self._apply_functional(op, is_write)
+            self.op_idx += 1
+            self.engine.schedule_after(
+                res.latency, lambda t: self._cgl_step(t, crit_t0)
+            )
+
+    # -- HTM attempt (Listing 1 loop) -------------------------------------
+
+    def _tx_try(self, now: int) -> None:
+        if self.done:
+            return
+        lock = self.machine.fallback_lock
+        if not self.spec.htmlock and lock.held:
+            # Listing 1 line 8-9: the lock is subscribed; spin until free.
+            lock.wait_free(
+                self.core, lambda t: self._tx_try_after_wait(t, now)
+            )
+            return
+        self._xbegin(now)
+
+    def _tx_try_after_wait(self, now: int, wait_t0: int) -> None:
+        self._bill(TimeCat.WAITLOCK, now - wait_t0)
+        self._tx_try(now)
+
+    def _xbegin(self, now: int) -> None:
+        self.tx.begin(TxMode.HTM, now)
+        self.stats.tx_attempts += 1
+        self._attempt_t0 = now
+        self.op_idx = 0
+        self.engine.schedule_after(
+            self.htm_params.xbegin_latency, self._tx_step
+        )
+
+    def _tx_step(self, now: int) -> None:
+        if self.done:
+            return
+        tx = self.tx
+        if tx.aborted:
+            self._rollback(now)
+            return
+        seg = self.program[self.seg_idx]
+        ops = seg.ops
+        if self.op_idx >= len(ops):
+            self._tx_commit(now)
+            return
+        op = ops[self.op_idx]
+        kind = op[0]
+        if kind == OP_COMPUTE:
+            self.op_idx += 1
+            tx.insts_in_attempt += op[1]
+            self.engine.schedule_after(op[1], self._tx_step)
+        elif kind == OP_FAULT:
+            self._tx_fault(now, op)
+        else:
+            is_write = kind == OP_STORE
+            res = self.memsys.access(self.core, op[1], is_write, now)
+            if res.status == GRANT:
+                self._apply_functional(op, is_write)
+                self.op_idx += 1
+                tx.insts_in_attempt += 1
+                self.engine.schedule_after(res.latency, self._tx_step)
+            elif res.status == REJECT:
+                self._on_reject(now, res)
+            else:
+                self._on_overflow(now)
+
+    # -- faults ------------------------------------------------------------
+
+    def _tx_fault(self, now: int, op) -> None:
+        if self.tx.mode is TxMode.HTM:
+            key = (self.seg_idx, self.op_idx)
+            persistent = bool(op[1])
+            if persistent or key not in self._faults_taken:
+                # §III-C: the paper does not apply switchingMode to
+                # exceptions; the extension flag evaluates that deferred
+                # design (attempt an STL switch so the trap can be taken
+                # non-speculatively).
+                if (
+                    self.spec.switching_on_faults
+                    and not self.tx.switch_attempted
+                ):
+                    self.tx.switch_attempted = True
+                    self.stats.switch_attempts += 1
+                    attempt_seq = self.tx.attempt_seq
+                    self.machine.hl_arbiter.request_stl(
+                        self.core,
+                        lambda t, granted: self._stl_result(
+                            t,
+                            granted,
+                            attempt_seq,
+                            deny_reason=AbortReason.FAULT,
+                        ),
+                    )
+                    return
+                self._faults_taken.add(key)
+                self._local_abort(now, AbortReason.FAULT)
+                return
+            self.op_idx += 1
+            self.tx.insts_in_attempt += 1
+            self.engine.schedule_after(1, self._tx_step)
+        else:
+            # Lock modes are non-speculative: take the trap and continue.
+            self.op_idx += 1
+            self.engine.schedule_after(
+                self.htm_params.trap_latency, self._tx_step
+            )
+
+    # -- rejection handling (§III-A requester options) ----------------------
+
+    def _on_reject(self, now: int, res: AccessResult) -> None:
+        if self.tx.mode.is_lock_mode:  # pragma: no cover
+            raise SimulationError("lock-mode transaction was rejected")
+        policy = self.spec.requester_policy
+        if policy is RequesterPolicy.SELF_ABORT:
+            reason = (
+                AbortReason.CONFLICT_LOCK
+                if res.reject_by_lock
+                else AbortReason.CONFLICT_HTM
+            )
+            self.engine.schedule_after(
+                res.latency, lambda t: self._local_abort(t, reason)
+            )
+        elif policy is RequesterPolicy.RETRY_LATER:
+            delay = (
+                res.latency
+                + self.htm_params.retry_delay
+                + self.rng.below(self.htm_params.retry_delay)
+            )
+            self.engine.schedule_after(delay, self._tx_step)
+        else:  # WAIT_WAKEUP
+            self._park(now, res.reject_holder)
+
+    def _park(self, now: int, holder: int) -> None:
+        self._park_seq += 1
+        park_seq = self._park_seq
+        attempt_seq = self.tx.attempt_seq
+        self._parked = (attempt_seq, park_seq)
+        self.machine.wakeups.register(
+            holder,
+            self.core,
+            attempt_seq,
+            lambda t: self._unpark(t, park_seq, timeout=False),
+        )
+        self.engine.schedule_after(
+            self.htm_params.wakeup_timeout,
+            lambda t: self._unpark(t, park_seq, timeout=True),
+        )
+
+    def _unpark(self, now: int, park_seq: int, timeout: bool) -> None:
+        if self.done or self._parked is None:
+            return
+        attempt_seq, cur_park = self._parked
+        if cur_park != park_seq or attempt_seq != self.tx.attempt_seq:
+            return
+        self._parked = None
+        if timeout:
+            self.stats.wakeup_timeouts += 1
+        self._tx_step(now)  # re-issues the same op (or handles abort)
+
+    def force_unpark(self, now: int) -> None:
+        """External abort while parked: resume so the abort is processed."""
+        if self._parked is not None:
+            self._parked = None
+            self.engine.schedule_after(1, self._tx_step)
+
+    # -- overflow / switchingMode (Fig. 6) ---------------------------------
+
+    def _on_overflow(self, now: int) -> None:
+        tx = self.tx
+        if tx.mode.is_lock_mode:  # pragma: no cover - memsys spills inline
+            raise SimulationError("lock-mode overflow escaped the spill path")
+        if self.spec.switching and not tx.switch_attempted:
+            tx.switch_attempted = True
+            self.stats.switch_attempts += 1
+            attempt_seq = tx.attempt_seq
+            self.machine.hl_arbiter.request_stl(
+                self.core,
+                lambda t, granted: self._stl_result(t, granted, attempt_seq),
+            )
+            return
+        self._local_abort(now, AbortReason.OVERFLOW)
+
+    def _stl_result(
+        self,
+        now: int,
+        granted: bool,
+        attempt_seq: int,
+        deny_reason: AbortReason = AbortReason.OVERFLOW,
+    ) -> None:
+        tx = self.tx
+        stale = tx.attempt_seq != attempt_seq or tx.mode is not TxMode.HTM
+        if tx.aborted or stale:
+            # Killed while the application was in flight: give the slot
+            # back if it was granted, then roll back as usual.
+            if granted:
+                self.machine.hl_arbiter.release(self.core)
+            if tx.aborted and not stale:
+                self._rollback(now)
+            return
+        if granted:
+            self.stats.switch_successes += 1
+            tx.switch_to_stl()
+            self._tx_step(now)  # re-issue the blocked op in STL mode
+        else:
+            if deny_reason is AbortReason.FAULT:
+                # The exception will be taken on the retry/fallback path;
+                # one-shot faults are then resolved.
+                self._faults_taken.add((self.seg_idx, self.op_idx))
+            self._local_abort(now, deny_reason)
+
+    # -- abort & retry -------------------------------------------------------
+
+    def _local_abort(self, now: int, reason: AbortReason) -> None:
+        tx = self.tx
+        if tx.mode is not TxMode.HTM:  # pragma: no cover
+            raise SimulationError(f"local abort in mode {tx.mode}")
+        if not tx.aborted:
+            tx.mark_aborted(reason)
+            self.memsys.discard_tx(self.core)
+            self.machine.drain_wakeups(self.core, now)
+        self._rollback(now)
+
+    def _rollback(self, now: int) -> None:
+        tx = self.tx
+        reason = tx.abort_reason or AbortReason.EXPLICIT
+        self.stats.aborts[reason] += 1
+        self._bill(TimeCat.ABORTED, now - self._attempt_t0)
+        penalty = (
+            self.htm_params.abort_base_penalty
+            + self.htm_params.abort_per_write_penalty * tx.last_write_count
+        )
+        tx.clear()
+        self.attempts_this_txn += 1
+        if reason is AbortReason.OVERFLOW:
+            # Capacity is near-deterministic: a short separate budget,
+            # then the fallback path.
+            self.capacity_retries_left -= 1
+            if self.capacity_retries_left < 0:
+                self._bill(TimeCat.ROLLBACK, penalty)
+                self.engine.schedule_after(penalty, self._go_fallback)
+                return
+        else:
+            # Conflict and exception aborts burn Listing 1's num_retries
+            # (a persistent fault exhausts the budget attempt by attempt).
+            self.retries_left -= 1
+        if self.retries_left <= 0:
+            self._bill(TimeCat.ROLLBACK, penalty)
+            self.engine.schedule_after(penalty, self._go_fallback)
+            return
+        shift = min(self.attempts_this_txn, 6)
+        cap = min(
+            self.htm_params.backoff_base << shift, self.htm_params.backoff_cap
+        )
+        backoff = self.rng.below(cap) if cap > 0 else 0
+        total = penalty + backoff
+        self._bill(TimeCat.ROLLBACK, total)
+        self.engine.schedule_after(total, self._tx_try)
+
+    # -- fallback path --------------------------------------------------------
+
+    def _go_fallback(self, now: int) -> None:
+        if self.done:
+            return
+        self.stats.fallback_entries += 1
+        lock = self.machine.fallback_lock
+        lock.acquire(
+            self.core, now, lambda t: self._fallback_locked(t, wait_t0=now)
+        )
+
+    def _fallback_locked(self, now: int, wait_t0: int) -> None:
+        if self.spec.htmlock:
+            # TL entry additionally needs the LLC's authorization
+            # (contention with a live STL transaction, §III-C).
+            self.machine.hl_arbiter.request_tl(
+                self.core, lambda t: self._enter_tl(t, wait_t0)
+            )
+        else:
+            self._bill(TimeCat.WAITLOCK, now - wait_t0)
+            # Classic fallback: the lock write kills every subscriber.
+            self.machine.abort_all_htm(AbortReason.MUTEX, exclude=self.core)
+            self.tx.begin(TxMode.FALLBACK, now)
+            self.stats.tx_attempts += 1
+            self._attempt_t0 = now
+            self.op_idx = 0
+            self._tx_step(now)
+
+    def _enter_tl(self, now: int, wait_t0: int) -> None:
+        self._bill(TimeCat.WAITLOCK, now - wait_t0)
+        self.tx.begin(TxMode.TL, now)
+        self.stats.tx_attempts += 1
+        self._attempt_t0 = now
+        self.op_idx = 0
+        self.engine.schedule_after(
+            self.htm_params.xbegin_latency, self._tx_step
+        )
+
+    # -- commit ---------------------------------------------------------------
+
+    def _tx_commit(self, now: int) -> None:
+        tx = self.tx
+        mode = tx.mode
+        if mode is TxMode.HTM:
+            self.memsys.publish(tx)
+            self.memsys.retire_tx(self.core)
+            self.engine.schedule_after(
+                self.htm_params.commit_latency,
+                lambda t: self._commit_done(t, TimeCat.HTM, "htm"),
+            )
+        elif mode is TxMode.STL:
+            self.memsys.publish(tx)  # buffered while it was still HTM
+            self.memsys.retire_tx(self.core)
+            self.machine.hl_arbiter.release(self.core)
+            self.engine.schedule_after(
+                self.htm_params.commit_latency,
+                lambda t: self._commit_done(t, TimeCat.SWITCH_LOCK, "switched"),
+            )
+        elif mode is TxMode.TL:
+            self.memsys.retire_tx(self.core)
+            self.machine.hl_arbiter.release(self.core)
+            self.machine.fallback_lock.release(self.core, now)
+            self.engine.schedule_after(
+                self.htm_params.commit_latency,
+                lambda t: self._commit_done(t, TimeCat.LOCK, "lock"),
+            )
+        elif mode is TxMode.FALLBACK:
+            self.machine.fallback_lock.release(self.core, now)
+            self.engine.schedule_after(
+                1, lambda t: self._commit_done(t, TimeCat.LOCK, "lock")
+            )
+        else:  # pragma: no cover
+            raise SimulationError(f"commit in mode {mode}")
+
+    def _commit_done(self, now: int, cat: TimeCat, kind: str) -> None:
+        self._bill(cat, now - self._attempt_t0)
+        self.stats.commit_latency_hist.record(now - self._attempt_t0)
+        if kind == "htm":
+            self.stats.commits_htm += 1
+        elif kind == "switched":
+            self.stats.commits_switched += 1
+        else:
+            self.stats.commits_lock += 1
+        self.tx.clear()
+        self.machine.drain_wakeups(self.core, now)
+        self._segment_done(now)

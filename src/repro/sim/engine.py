@@ -1,0 +1,99 @@
+"""Minimal deterministic discrete-event engine.
+
+A binary heap of ``(time, seq, callback)`` with a monotonically
+increasing sequence number as tie-breaker, so same-cycle events fire in
+schedule order and runs are bit-reproducible regardless of hash seeds.
+Callbacks receive the current time.  Cancellation is handled with the
+standard lazy-invalidate idiom (events carry a token that can be voided)
+to keep the heap allocation-light.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+EventFn = Callable[[int], None]
+
+
+class EventToken:
+    """Handle allowing a scheduled event to be cancelled lazily."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class SimEngine:
+    """Priority-queue event scheduler in whole cycles."""
+
+    __slots__ = ("_heap", "_seq", "now", "events_processed", "_max_events")
+
+    def __init__(self, max_events: int = 200_000_000) -> None:
+        self._heap: List[Tuple[int, int, EventToken, EventFn]] = []
+        self._seq = 0
+        self.now = 0
+        self.events_processed = 0
+        self._max_events = max_events
+
+    def schedule(self, when: int, fn: EventFn) -> EventToken:
+        """Schedule ``fn`` to fire at absolute cycle ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"scheduling into the past: {when} < now {self.now}"
+            )
+        token = EventToken()
+        heapq.heappush(self._heap, (when, self._seq, token, fn))
+        self._seq += 1
+        return token
+
+    def schedule_after(self, delay: int, fn: EventFn) -> EventToken:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self.now + delay, fn)
+
+    def pending(self) -> int:
+        """Number of not-yet-fired (possibly cancelled) events."""
+        return len(self._heap)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Drain events (optionally stopping after cycle ``until``).
+
+        Returns the time of the last processed event.
+        """
+        heap = self._heap
+        while heap:
+            when, _, token, fn = heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(heap)
+            if token.cancelled:
+                continue
+            self.now = when
+            self.events_processed += 1
+            if self.events_processed > self._max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({self._max_events}); "
+                    "likely a livelock in the modeled system"
+                )
+            fn(when)
+        return self.now
+
+    def step(self) -> bool:
+        """Process exactly one live event; False when the heap is empty."""
+        heap = self._heap
+        while heap:
+            when, _, token, fn = heapq.heappop(heap)
+            if token.cancelled:
+                continue
+            self.now = when
+            self.events_processed += 1
+            fn(when)
+            return True
+        return False

@@ -1,0 +1,171 @@
+"""Random-program fuzzing of the full simulator stack.
+
+Complements the hypothesis property tests: generates seedable random
+multi-threaded programs over a small hot address space (worst case for
+the conflict machinery), runs them on a set of systems — optionally with
+tiny caches to force overflows and paranoid SWMR checking — and verifies
+the functional expectation on every run.  Any counterexample is reported
+with its exact (seed, case) coordinates for replay.
+
+Used by ``python -m repro.harness.cli fuzz`` and the stress test in
+``tests/test_fuzz.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.params import CacheParams, SystemParams
+from repro.common.rng import substream
+from repro.harness.systems import get_system
+from repro.htm.isa import Plain, Segment, Txn, compute, fault, load, store
+from repro.sim.machine import Machine
+from repro.workloads.base import expected_final_memory
+
+DEFAULT_SYSTEMS = (
+    "CGL",
+    "Baseline",
+    "LosaTM-SAFU",
+    "LockillerTM-RAI",
+    "LockillerTM-RRI",
+    "LockillerTM-RWI",
+    "LockillerTM-RWL",
+    "LockillerTM-RWIL",
+    "LockillerTM",
+)
+
+
+def fuzz_params(num_cores: int = 4) -> SystemParams:
+    """Tiny overflow-prone machine for fuzzing."""
+    return SystemParams(
+        num_cores=num_cores,
+        l1=CacheParams(4 * 64, 2, 2),
+        llc=CacheParams(512 * 64, 16, 12),
+    )
+
+
+def random_programs(
+    rng: np.random.Generator,
+    max_threads: int = 4,
+    max_segments: int = 5,
+    max_ops: int = 8,
+    n_lines: int = 6,
+    fault_prob: float = 0.08,
+) -> List[List[Segment]]:
+    """One random program per thread over ``n_lines`` hot lines."""
+    programs: List[List[Segment]] = []
+    for _ in range(int(rng.integers(1, max_threads + 1))):
+        segments: List[Segment] = []
+        for _ in range(int(rng.integers(1, max_segments + 1))):
+            ops = [compute(int(rng.integers(1, 12)))]
+            for _ in range(int(rng.integers(1, max_ops + 1))):
+                kind = int(rng.integers(0, 3))
+                addr = int(rng.integers(0, n_lines)) * 64
+                if kind == 0:
+                    ops.append(load(addr))
+                elif kind == 1:
+                    ops.append(store(addr, int(rng.integers(1, 4))))
+                else:
+                    ops.append(compute(int(rng.integers(1, 6))))
+            if rng.random() < 0.5:
+                if rng.random() < fault_prob:
+                    ops.insert(
+                        1, fault(persistent=bool(rng.integers(0, 2)))
+                    )
+                segments.append(Txn(ops))
+            else:
+                segments.append(
+                    Plain([op for op in ops if op[0] != 3])  # no plain faults
+                )
+        programs.append(segments)
+    return programs
+
+
+@dataclass
+class FuzzFailure:
+    case: int
+    system: str
+    seed: int
+    detail: str
+
+
+@dataclass
+class FuzzReport:
+    cases: int
+    runs: int
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz: {self.cases} cases x systems = {self.runs} runs, "
+            f"{len(self.failures)} failure(s)"
+        ]
+        for f in self.failures[:10]:
+            lines.append(
+                f"  case {f.case} on {f.system} (seed {f.seed}): {f.detail}"
+            )
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    cases: int = 25,
+    seed: int = 0,
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    paranoid: bool = False,
+    params: Optional[SystemParams] = None,
+) -> FuzzReport:
+    report = FuzzReport(cases=cases, runs=0)
+    for case in range(cases):
+        rng = substream(seed, "fuzz", case)
+        progs = random_programs(rng)
+        expected = expected_final_memory(progs)
+        n_txns = sum(
+            1 for p in progs for s in p if isinstance(s, Txn)
+        )
+        for system in systems:
+            report.runs += 1
+            try:
+                machine = Machine(
+                    params or fuzz_params(max(4, len(progs))),
+                    get_system(system),
+                    progs,
+                    seed=seed + case,
+                )
+                if paranoid:
+                    machine.memsys.paranoid = True
+                machine.run()
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                report.failures.append(
+                    FuzzFailure(case, system, seed, f"crash: {exc!r}")
+                )
+                continue
+            got: Dict[int, int] = {
+                a: v for a, v in machine.memsys.memory.items() if v != 0
+            }
+            if got != expected:
+                report.failures.append(
+                    FuzzFailure(case, system, seed, "memory image mismatch")
+                )
+            commits = sum(cs.commits for cs in machine.core_stats)
+            if commits != n_txns:
+                report.failures.append(
+                    FuzzFailure(
+                        case,
+                        system,
+                        seed,
+                        f"{commits} commits for {n_txns} transactions",
+                    )
+                )
+            problems = machine.memsys.check_quiescent()
+            if problems:
+                report.failures.append(
+                    FuzzFailure(case, system, seed, "; ".join(problems[:2]))
+                )
+    return report

@@ -1,0 +1,170 @@
+"""The tiled CMP machine: cores + memory subsystem + mechanisms, wired.
+
+``Machine`` owns the event engine and every architectural component and
+provides the cross-component operations the paper's mechanisms need:
+external victim aborts, the subscribe-lock broadcast kill (classic
+fallback), and wake-up delivery for the recovery mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import (
+    ConfigError,
+    DeadlockError,
+    SimulationError,
+)
+from repro.common.params import SystemParams
+from repro.common.stats import AbortReason, CoreStats
+from repro.coherence.memsys import MemorySystem
+from repro.core.conflict import build_conflict_manager
+from repro.core.hlarbiter import HLArbiter
+from repro.core.policies import SystemSpec
+from repro.core.wakeup import WakeupTable
+from repro.htm.fallback import LockManager
+from repro.htm.txstate import TxMode
+from repro.interconnect.network import NetworkModel
+from repro.interconnect.topology import MeshTopology
+from repro.sim.cpu import CPU
+from repro.sim.engine import SimEngine
+
+#: Lock variables live far outside any workload's address space.
+_LOCK_LINE = 1 << 40
+
+
+class Machine:
+    """One simulated run's worth of hardware."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        spec: SystemSpec,
+        programs: List[list],
+        seed: int = 0,
+    ) -> None:
+        if len(programs) > params.num_cores:
+            raise ConfigError(
+                f"{len(programs)} threads > {params.num_cores} cores"
+            )
+        self.params = params
+        self.spec = spec
+        self.seed = seed
+        self.engine = SimEngine()
+        self.topology = MeshTopology(params.network)
+        self.network = NetworkModel(self.topology, params.network)
+        if params.network.model_contention:
+            self.network.clock = lambda: self.engine.now
+        self.core_stats = [CoreStats() for _ in range(len(programs))]
+        self.manager = build_conflict_manager(spec)
+        self.memsys = MemorySystem(
+            params,
+            self.topology,
+            self.network,
+            self.manager,
+            self.core_stats,
+            self.tile_of_core,
+        )
+        self.wakeups = WakeupTable()
+        self.hl_arbiter = HLArbiter(
+            self.engine, self.network, self.tile_of_core, arbiter_tile=0
+        )
+        lock_home = self.topology.home_tile(_LOCK_LINE)
+        self.fallback_lock = LockManager(
+            "fallback" if spec.use_htm else "cgl",
+            _LOCK_LINE,
+            lock_home,
+            self.engine,
+            self.network,
+            self.tile_of_core,
+        )
+        #: CGL and the fallback path serialize on the same variable — the
+        #: paper compares "coarse-grained locking with the same
+        #: granularity of transactions".
+        self.global_lock = self.fallback_lock
+
+        self.cpus: List[CPU] = [
+            CPU(i, self.tile_of_core(i), self, prog, seed)
+            for i, prog in enumerate(programs)
+        ]
+        self.memsys.tx_states = [cpu.tx for cpu in self.cpus]
+        self.memsys.abort_core = self.abort_externally
+        self._finished = 0
+        self.finish_times: List[Optional[int]] = [None] * len(programs)
+
+    # ------------------------------------------------------------------
+
+    def tile_of_core(self, core: int) -> int:
+        return core  # one core per tile, identity placement
+
+    # ------------------------------------------------------------------
+    # Cross-component operations
+    # ------------------------------------------------------------------
+
+    def abort_externally(self, core: int, reason: AbortReason, now: int) -> None:
+        """Kill ``core``'s speculative transaction (conflict loser)."""
+        cpu = self.cpus[core]
+        tx = cpu.tx
+        if tx.mode.is_lock_mode:
+            raise SimulationError(
+                f"attempt to abort irrevocable core {core} in {tx.mode}"
+            )
+        if tx.mode is not TxMode.HTM or tx.aborted:
+            return
+        tx.mark_aborted(reason)
+        self.memsys.discard_tx(core)
+        self.drain_wakeups(core, now)
+        self.wakeups.discard_waiter(core)
+        cpu.force_unpark(now)
+        # If not parked, the CPU's in-flight continuation observes the
+        # abort flag at its next event.
+
+    def abort_all_htm(self, reason: AbortReason, exclude: int) -> None:
+        """The classic fallback lock acquisition: every subscriber dies."""
+        now = self.engine.now
+        for cpu in self.cpus:
+            if cpu.core != exclude and cpu.tx.mode is TxMode.HTM:
+                self.abort_externally(cpu.core, reason, now)
+
+    def drain_wakeups(self, holder: int, now: int) -> None:
+        """Commit/abort-time flush of the holder's wake-up table entry."""
+        waiters = self.wakeups.drain(holder)
+        if not waiters:
+            return
+        self.core_stats[holder].wakeups_sent += len(waiters)
+        holder_tile = self.tile_of_core(holder)
+        for w in waiters:
+            latency = self.network.control_latency(
+                holder_tile, self.tile_of_core(w.core)
+            )
+            self.engine.schedule_after(max(1, latency), w.resume)
+
+    def core_finished(self, core: int, now: int) -> None:
+        self.finish_times[core] = now
+        self._finished += 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def all_done(self) -> bool:
+        return self._finished == len(self.cpus)
+
+    def run(self, max_cycles: Optional[int] = None) -> int:
+        """Execute to completion; returns total execution cycles."""
+        for cpu in self.cpus:
+            cpu.start()
+        self.engine.run(until=max_cycles)
+        if not self.all_done:
+            stuck = [c.core for c in self.cpus if not c.done]
+            raise DeadlockError(
+                f"cores {stuck} never finished "
+                f"(t={self.engine.now}, pending={self.engine.pending()})"
+            )
+        end = max(t for t in self.finish_times if t is not None)
+        # Barrier: early finishers idle until the last thread arrives.
+        from repro.common.stats import TimeCat
+
+        for core, t in enumerate(self.finish_times):
+            if t is not None and end > t:
+                self.core_stats[core].add_time(TimeCat.NON_TRAN, end - t)
+        return end

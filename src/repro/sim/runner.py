@@ -1,0 +1,72 @@
+"""Run orchestration: (workload, system, machine params) -> RunStats.
+
+Every run ends with sanity checks unless disabled: the functional
+memory image must equal the workload's interleaving-independent
+expectation (atomicity/durability of every transaction), and the
+coherence layer must be quiescent with SWMR intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.common.errors import SimulationError
+from repro.common.params import SystemParams, typical_params
+from repro.common.stats import RunStats
+from repro.core.policies import SystemSpec
+from repro.sim.machine import Machine
+from repro.workloads.base import Workload, WorkloadBuild
+
+
+@dataclass
+class RunConfig:
+    """Everything needed to reproduce one simulation run."""
+
+    spec: SystemSpec
+    threads: int = 2
+    scale: float = 1.0
+    seed: int = 0
+    params: SystemParams = field(default_factory=typical_params)
+    check: bool = True
+    max_cycles: Optional[int] = None
+
+
+def run_workload(
+    workload: Union[Workload, WorkloadBuild],
+    config: RunConfig,
+) -> RunStats:
+    """Build the machine, execute the workload, verify, return stats."""
+    if isinstance(workload, WorkloadBuild):
+        build = workload
+        if len(build.programs) != config.threads:
+            raise SimulationError(
+                f"prebuilt workload has {len(build.programs)} programs, "
+                f"config wants {config.threads} threads"
+            )
+    else:
+        build = workload.build(config.threads, config.scale, config.seed)
+    machine = Machine(
+        config.params, config.spec, build.programs, seed=config.seed
+    )
+    cycles = machine.run(max_cycles=config.max_cycles)
+    stats = RunStats(execution_cycles=cycles, cores=machine.core_stats)
+    if config.check:
+        failures = build.verify(machine.memsys.memory)
+        failures.extend(machine.memsys.check_quiescent())
+        if machine.fallback_lock.held:
+            failures.append(
+                f"lock still held by core {machine.fallback_lock.holder}"
+            )
+        if machine.hl_arbiter.busy:
+            failures.append(
+                f"HTMLock mode still owned by core {machine.hl_arbiter.owner}"
+            )
+        stats.sanity_failures = failures
+        if failures:
+            raise SimulationError(
+                f"run failed sanity checks ({build.name} on "
+                f"{config.spec.name}, {config.threads} threads): "
+                + "; ".join(failures[:5])
+            )
+    return stats

@@ -1,0 +1,249 @@
+"""Execution tracing and contention profiling.
+
+Real simulator releases live or die by their observability; this module
+provides an opt-in trace recorder that hooks the machine's transaction
+lifecycle and conflict events, plus a per-line contention profile.  The
+recorder is **off by default** and costs nothing when disabled: the
+Machine only calls into it through :func:`attach`, which monkey-wires
+the relevant callbacks.
+
+Typical use::
+
+    machine = Machine(params, spec, programs)
+    tracer = Tracer(capacity=50_000)
+    tracer.attach(machine)
+    machine.run()
+    print(tracer.render_tail(20))
+    hot = tracer.contention_profile().hottest(5)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+
+class TraceEvent(str, Enum):
+    TX_BEGIN = "tx_begin"
+    TX_COMMIT = "tx_commit"
+    TX_ABORT = "tx_abort"
+    REJECT = "reject"
+    WAKEUP = "wakeup"
+    FALLBACK = "fallback"
+    SWITCH_ATTEMPT = "switch_attempt"
+    SWITCH_OK = "switch_ok"
+    OVERFLOW = "overflow"
+    SPILL = "spill"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: int
+    event: TraceEvent
+    core: int
+    detail: str = ""
+    line: int = -1
+
+    def render(self) -> str:
+        extra = f" line={self.line:#x}" if self.line >= 0 else ""
+        detail = f" {self.detail}" if self.detail else ""
+        return f"[{self.time:>10d}] core{self.core:<2d} {self.event.value}{extra}{detail}"
+
+
+@dataclass
+class ContentionProfile:
+    """Per-line conflict counts gathered from reject/abort events."""
+
+    conflicts: Counter
+
+    def hottest(self, n: int = 10) -> List[Tuple[int, int]]:
+        return self.conflicts.most_common(n)
+
+    @property
+    def total(self) -> int:
+        return sum(self.conflicts.values())
+
+
+class Tracer:
+    """Bounded in-memory trace of machine-level events."""
+
+    def __init__(
+        self,
+        capacity: int = 100_000,
+        events: Optional[set] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.filter = events  # None = record everything
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self._line_conflicts: Counter = Counter()
+        self._machine = None
+
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        time: int,
+        event: TraceEvent,
+        core: int,
+        detail: str = "",
+        line: int = -1,
+    ) -> None:
+        if self.filter is not None and event not in self.filter:
+            return
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, event, core, detail, line))
+
+    def note_conflict(self, line: int) -> None:
+        self._line_conflicts[line] += 1
+
+    # ------------------------------------------------------------------
+
+    def attach(self, machine) -> None:
+        """Wire this tracer into a machine (before ``machine.run()``)."""
+        if self._machine is not None:
+            raise RuntimeError("tracer already attached")
+        self._machine = machine
+        tracer = self
+
+        # Wrap the victim-abort callback (covers every external abort).
+        inner_abort = machine.memsys.abort_core
+
+        def traced_abort(core, reason, now):
+            cpu = machine.cpus[core]
+            if cpu.tx.mode.in_transaction and not cpu.tx.aborted:
+                tracer.record(
+                    now, TraceEvent.TX_ABORT, core, detail=str(reason.value)
+                )
+            inner_abort(core, reason, now)
+
+        machine.memsys.abort_core = traced_abort
+
+        # Wrap the memory access path for rejects/overflows.
+        memsys = machine.memsys
+        inner_access = memsys.access
+
+        def traced_access(core, addr, is_write, now):
+            res = inner_access(core, addr, is_write, now)
+            from repro.coherence.memsys import OVERFLOW, REJECT
+
+            if res.status == REJECT:
+                tracer.record(
+                    now,
+                    TraceEvent.REJECT,
+                    core,
+                    detail=f"by core{res.reject_holder}",
+                    line=addr >> 6,
+                )
+                tracer.note_conflict(addr >> 6)
+            elif res.status == OVERFLOW:
+                tracer.record(
+                    now, TraceEvent.OVERFLOW, core, line=addr >> 6
+                )
+            return res
+
+        memsys.access = traced_access
+
+        # Wrap wakeup delivery.
+        inner_drain = machine.drain_wakeups
+
+        def traced_drain(holder, now):
+            pending = machine.wakeups.pending_for(holder)
+            if pending:
+                tracer.record(
+                    now,
+                    TraceEvent.WAKEUP,
+                    holder,
+                    detail=f"{pending} waiter(s)",
+                )
+            inner_drain(holder, now)
+
+        machine.drain_wakeups = traced_drain
+
+        # Per-CPU lifecycle hooks.
+        for cpu in machine.cpus:
+            self._wrap_cpu(cpu)
+
+    def _wrap_cpu(self, cpu) -> None:
+        tracer = self
+
+        inner_xbegin = cpu._xbegin
+
+        def traced_xbegin(now):
+            tracer.record(now, TraceEvent.TX_BEGIN, cpu.core)
+            inner_xbegin(now)
+
+        cpu._xbegin = traced_xbegin
+
+        inner_commit_done = cpu._commit_done
+
+        def traced_commit_done(now, cat, kind):
+            tracer.record(
+                now, TraceEvent.TX_COMMIT, cpu.core, detail=kind
+            )
+            inner_commit_done(now, cat, kind)
+
+        cpu._commit_done = traced_commit_done
+
+        inner_local_abort = cpu._local_abort
+
+        def traced_local_abort(now, reason):
+            if not cpu.tx.aborted:
+                tracer.record(
+                    now, TraceEvent.TX_ABORT, cpu.core, detail=str(reason.value)
+                )
+            inner_local_abort(now, reason)
+
+        cpu._local_abort = traced_local_abort
+
+        inner_fallback = cpu._go_fallback
+
+        def traced_fallback(now):
+            tracer.record(now, TraceEvent.FALLBACK, cpu.core)
+            inner_fallback(now)
+
+        cpu._go_fallback = traced_fallback
+
+        inner_stl = cpu._stl_result
+
+        def traced_stl(now, granted, attempt_seq, **kwargs):
+            tracer.record(
+                now,
+                TraceEvent.SWITCH_OK if granted else TraceEvent.SWITCH_ATTEMPT,
+                cpu.core,
+                detail="granted" if granted else "denied",
+            )
+            inner_stl(now, granted, attempt_seq, **kwargs)
+
+        cpu._stl_result = traced_stl
+
+    # ------------------------------------------------------------------
+
+    def contention_profile(self) -> ContentionProfile:
+        return ContentionProfile(Counter(self._line_conflicts))
+
+    def counts(self) -> Dict[TraceEvent, int]:
+        out: Counter = Counter(r.event for r in self.records)
+        return dict(out)
+
+    def events_for_core(self, core: int) -> List[TraceRecord]:
+        return [r for r in self.records if r.core == core]
+
+    def between(self, start: int, end: int) -> List[TraceRecord]:
+        return [r for r in self.records if start <= r.time <= end]
+
+    def render_tail(self, n: int = 50) -> str:
+        tail = self.records[-n:]
+        lines = [r.render() for r in tail]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} records dropped at capacity)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,28 @@
+"""STAMP-like transactional workloads (synthetic-equivalent kernels).
+
+Each module documents which published STAMP characteristics it models
+(transaction length, read/write-set size, contention, overflow and
+exception proneness) and carries machine-checkable functional
+invariants: all stores are additive, so the final memory image is an
+interleaving-independent sum that the runner verifies after every run.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    WorkloadBuild,
+    expected_final_memory,
+)
+from repro.workloads.registry import (
+    WORKLOADS,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadBuild",
+    "expected_final_memory",
+    "WORKLOADS",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,150 @@
+"""Workload characterization: the statistics the paper's behaviour
+depends on, computed directly from generated programs.
+
+Used for calibration (do our kernels actually have STAMP-like shapes?)
+and exposed to users building their own workloads: given a program and a
+cache geometry, :func:`overflow_probability` predicts how often
+best-effort HTM will take a capacity abort before ever simulating.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.params import CacheParams
+from repro.htm.isa import OP_FAULT, OP_STORE, Segment, Txn
+
+
+@dataclass(frozen=True)
+class TxnProfile:
+    """Footprint statistics of one transaction."""
+
+    ops: int
+    read_lines: int
+    write_lines: int
+    footprint: int          # distinct lines touched
+    shared_lines: int       # lines below the private region
+    has_fault: bool
+
+
+@dataclass
+class WorkloadProfile:
+    """Aggregate statistics over all transactions of a program set."""
+
+    txns: List[TxnProfile]
+
+    @property
+    def count(self) -> int:
+        return len(self.txns)
+
+    def mean(self, attr: str) -> float:
+        if not self.txns:
+            return 0.0
+        return sum(getattr(t, attr) for t in self.txns) / len(self.txns)
+
+    def max(self, attr: str) -> int:
+        if not self.txns:
+            return 0
+        return max(getattr(t, attr) for t in self.txns)
+
+    @property
+    def fault_fraction(self) -> float:
+        if not self.txns:
+            return 0.0
+        return sum(t.has_fault for t in self.txns) / len(self.txns)
+
+    def footprint_histogram(self, bucket: int = 16) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for t in self.txns:
+            key = (t.footprint // bucket) * bucket
+            hist[key] = hist.get(key, 0) + 1
+        return dict(sorted(hist.items()))
+
+
+PRIVATE_THRESHOLD = 0x1000_0000 >> 6  # line index of PRIVATE_BASE
+
+
+def profile_txn(txn: Txn) -> TxnProfile:
+    reads = txn.read_lines()
+    writes = txn.write_lines()
+    footprint = reads | writes
+    return TxnProfile(
+        ops=len(txn.ops),
+        read_lines=len(reads),
+        write_lines=len(writes),
+        footprint=len(footprint),
+        shared_lines=sum(1 for ln in footprint if ln < PRIVATE_THRESHOLD),
+        has_fault=any(op[0] == OP_FAULT for op in txn.ops),
+    )
+
+
+def profile_programs(programs: Sequence[Sequence[Segment]]) -> WorkloadProfile:
+    txns = [
+        profile_txn(seg)
+        for prog in programs
+        for seg in prog
+        if isinstance(seg, Txn)
+    ]
+    return WorkloadProfile(txns)
+
+
+def overflow_probability(
+    footprint_lines: int, cache: CacheParams
+) -> float:
+    """P(some cache set receives more distinct lines than its ways).
+
+    Models the footprint as uniformly hashed into the cache's sets
+    (random line addresses — the common case for our kernels) and
+    applies a Poisson tail per set with a union bound refinement:
+    ``1 - P(X <= assoc)^sets`` for ``X ~ Poisson(footprint/sets)``.
+    """
+    if footprint_lines <= cache.assoc:
+        return 0.0
+    lam = footprint_lines / cache.num_sets
+    # P(X <= assoc) for Poisson(lam).
+    p_ok = 0.0
+    term = math.exp(-lam)
+    for k in range(cache.assoc + 1):
+        p_ok += term
+        term *= lam / (k + 1)
+    p_ok = min(1.0, p_ok)
+    return 1.0 - p_ok**cache.num_sets
+
+
+def contention_estimate(
+    programs: Sequence[Sequence[Segment]], top: int = 5
+) -> List[Tuple[int, int]]:
+    """Hottest shared lines by static write frequency."""
+    writes: Dict[int, int] = {}
+    for prog in programs:
+        for seg in prog:
+            if not isinstance(seg, Txn):
+                continue
+            for op in seg.ops:
+                if op[0] == OP_STORE:
+                    line = op[1] >> 6
+                    if line < PRIVATE_THRESHOLD:
+                        writes[line] = writes.get(line, 0) + 1
+    ranked = sorted(writes.items(), key=lambda kv: -kv[1])
+    return ranked[:top]
+
+
+def summarize(
+    programs: Sequence[Sequence[Segment]], cache: CacheParams
+) -> Dict[str, object]:
+    """One-call characterization used by tests and the analyzer example."""
+    prof = profile_programs(programs)
+    mean_fp = prof.mean("footprint")
+    return {
+        "txns": prof.count,
+        "mean_ops": prof.mean("ops"),
+        "mean_footprint": mean_fp,
+        "max_footprint": prof.max("footprint"),
+        "fault_fraction": prof.fault_fraction,
+        "overflow_probability": overflow_probability(
+            int(round(mean_fp)), cache
+        ),
+        "hottest_lines": contention_estimate(programs),
+    }

@@ -1,0 +1,116 @@
+"""Tests for the workload analyzer (profiles, overflow prediction)."""
+
+import pytest
+
+from repro.common.params import CacheParams, typical_params
+from repro.htm.isa import Plain, Txn, compute, fault, load, store
+from repro.workloads.analyze import (
+    contention_estimate,
+    overflow_probability,
+    profile_programs,
+    profile_txn,
+    summarize,
+)
+from repro.workloads.base import private_line_addr, shared_line_addr
+from repro.workloads.registry import get_workload
+
+
+class TestTxnProfile:
+    def test_counts_lines(self):
+        t = Txn(
+            [
+                compute(3),
+                load(shared_line_addr(1)),
+                load(shared_line_addr(2)),
+                store(shared_line_addr(2), 1),
+                load(private_line_addr(0, 0)),
+            ]
+        )
+        p = profile_txn(t)
+        assert p.read_lines == 3  # distinct lines; store's line already read
+        assert p.write_lines == 1
+        assert p.footprint == 3
+        assert p.shared_lines == 2
+        assert not p.has_fault
+
+    def test_detects_fault(self):
+        t = Txn([fault(), store(shared_line_addr(1), 1)])
+        assert profile_txn(t).has_fault
+
+
+class TestWorkloadProfile:
+    def test_aggregates(self):
+        progs = [
+            [
+                Plain([compute(5)]),
+                Txn([load(shared_line_addr(i)) for i in range(4)]),
+                Txn([store(shared_line_addr(9), 1)]),
+            ]
+        ]
+        prof = profile_programs(progs)
+        assert prof.count == 2
+        assert prof.mean("footprint") == pytest.approx(2.5)
+        assert prof.max("footprint") == 4
+        assert prof.fault_fraction == 0.0
+
+    def test_histogram_buckets(self):
+        progs = [[Txn([load(shared_line_addr(i)) for i in range(20)])]]
+        hist = profile_programs(progs).footprint_histogram(bucket=16)
+        assert hist == {16: 1}
+
+    def test_empty(self):
+        prof = profile_programs([[]])
+        assert prof.count == 0
+        assert prof.mean("ops") == 0.0
+        assert prof.fault_fraction == 0.0
+
+
+class TestOverflowPrediction:
+    def test_small_footprint_never_overflows(self):
+        l1 = typical_params().l1
+        assert overflow_probability(4, l1) == 0.0
+
+    def test_monotone_in_footprint(self):
+        l1 = typical_params().l1
+        ps = [overflow_probability(n, l1) for n in (50, 150, 300, 500)]
+        assert ps == sorted(ps)
+        assert ps[-1] > 0.9
+
+    def test_tiny_cache_overflows_easily(self):
+        tiny = CacheParams(4 * 64, 2, 2)  # 2 sets x 2 ways
+        assert overflow_probability(10, tiny) > 0.5
+
+    def test_labyrinth_predicted_to_overflow(self):
+        """The calibration DESIGN.md relies on, checked analytically."""
+        build = get_workload("labyrinth").build(threads=1, scale=0.2, seed=1)
+        prof = profile_programs(build.programs)
+        l1 = typical_params().l1
+        p = overflow_probability(int(prof.mean("footprint")), l1)
+        assert p > 0.9
+
+    def test_ssca2_predicted_safe(self):
+        build = get_workload("ssca2").build(threads=1, scale=0.2, seed=1)
+        prof = profile_programs(build.programs)
+        l1 = typical_params().l1
+        assert overflow_probability(int(prof.mean("footprint")), l1) < 0.01
+
+
+class TestContentionEstimate:
+    def test_intruder_hottest_is_queue_head(self):
+        build = get_workload("intruder").build(threads=4, scale=0.3, seed=1)
+        hottest = contention_estimate(build.programs, top=1)
+        assert hottest[0][0] == shared_line_addr(0) >> 6
+
+    def test_private_writes_excluded(self):
+        progs = [[Txn([store(private_line_addr(0, 1), 1)])]]
+        assert contention_estimate(progs) == []
+
+
+class TestSummarize:
+    def test_summary_keys(self):
+        build = get_workload("yada").build(threads=2, scale=0.2, seed=1)
+        s = summarize(build.programs, typical_params().l1)
+        assert s["txns"] > 0
+        assert s["fault_fraction"] > 0.5
+        assert 0.0 <= s["overflow_probability"] <= 1.0
+        assert isinstance(s["hottest_lines"], list)

@@ -1,0 +1,122 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import SimEngine
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        eng = SimEngine()
+        order = []
+        eng.schedule(30, lambda t: order.append(("c", t)))
+        eng.schedule(10, lambda t: order.append(("a", t)))
+        eng.schedule(20, lambda t: order.append(("b", t)))
+        eng.run()
+        assert order == [("a", 10), ("b", 20), ("c", 30)]
+
+    def test_same_cycle_fifo(self):
+        eng = SimEngine()
+        order = []
+        for name in "abc":
+            eng.schedule(5, lambda t, n=name: order.append(n))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_after_relative(self):
+        eng = SimEngine()
+        seen = []
+        eng.schedule(10, lambda t: eng.schedule_after(5, seen.append))
+        eng.run()
+        assert seen == [15]
+
+    def test_rejects_past(self):
+        eng = SimEngine()
+        eng.schedule(10, lambda t: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.schedule(5, lambda t: None)
+
+    def test_rejects_negative_delay(self):
+        eng = SimEngine()
+        with pytest.raises(SimulationError):
+            eng.schedule_after(-1, lambda t: None)
+
+    def test_run_until_stops(self):
+        eng = SimEngine()
+        seen = []
+        eng.schedule(10, seen.append)
+        eng.schedule(20, seen.append)
+        eng.run(until=15)
+        assert seen == [10]
+        assert eng.pending() == 1
+        eng.run()
+        assert seen == [10, 20]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        eng = SimEngine()
+        seen = []
+        token = eng.schedule(10, seen.append)
+        eng.schedule(20, seen.append)
+        token.cancel()
+        eng.run()
+        assert seen == [20]
+
+    def test_cancel_is_idempotent(self):
+        eng = SimEngine()
+        token = eng.schedule(10, lambda t: None)
+        token.cancel()
+        token.cancel()
+        eng.run()
+
+
+class TestStepAndAccounting:
+    def test_step_returns_false_when_empty(self):
+        assert SimEngine().step() is False
+
+    def test_step_processes_one(self):
+        eng = SimEngine()
+        seen = []
+        eng.schedule(1, seen.append)
+        eng.schedule(2, seen.append)
+        assert eng.step()
+        assert seen == [1]
+
+    def test_events_processed_counter(self):
+        eng = SimEngine()
+        for i in range(5):
+            eng.schedule(i, lambda t: None)
+        eng.run()
+        assert eng.events_processed == 5
+
+    def test_now_tracks_last_event(self):
+        eng = SimEngine()
+        eng.schedule(42, lambda t: None)
+        eng.run()
+        assert eng.now == 42
+
+    def test_event_budget_guards_livelock(self):
+        eng = SimEngine(max_events=10)
+
+        def respawn(t):
+            eng.schedule_after(1, respawn)
+
+        eng.schedule(0, respawn)
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_events_scheduled_during_run(self):
+        eng = SimEngine()
+        seen = []
+
+        def chain(t):
+            seen.append(t)
+            if t < 5:
+                eng.schedule_after(1, chain)
+
+        eng.schedule(0, chain)
+        eng.run()
+        assert seen == [0, 1, 2, 3, 4, 5]

@@ -1,0 +1,152 @@
+"""Tests for result export/round-trip and the ASCII chart helpers."""
+
+import json
+
+import pytest
+
+from repro.common.stats import AbortReason, CoreStats, RunStats, TimeCat
+from repro.harness.charts import (
+    breakdown_chart,
+    hbar_chart,
+    series_sparkline,
+    stacked_bar,
+)
+from repro.harness.export import (
+    SCHEMA_VERSION,
+    compare_runs,
+    dumps,
+    fingerprint,
+    loads,
+    run_stats_from_dict,
+    run_stats_to_dict,
+)
+from repro.harness.systems import get_system
+from repro.sim.runner import RunConfig, run_workload
+from repro.workloads.registry import get_workload
+
+
+def sample_stats() -> RunStats:
+    return run_workload(
+        get_workload("kmeans+"),
+        RunConfig(spec=get_system("LockillerTM"), threads=2, scale=0.05, seed=3),
+    )
+
+
+class TestExport:
+    def test_round_trip_preserves_everything(self):
+        stats = sample_stats()
+        again = loads(dumps(stats, meta={"workload": "kmeans+"}))
+        assert again.execution_cycles == stats.execution_cycles
+        assert again.time_breakdown() == stats.time_breakdown()
+        assert again.abort_breakdown() == stats.abort_breakdown()
+        assert again.commits == stats.commits
+        assert len(again.cores) == len(stats.cores)
+        for a, b in zip(again.cores, stats.cores):
+            assert a.l1_hits == b.l1_hits
+            assert a.rejects_received == b.rejects_received
+
+    def test_dict_is_json_safe(self):
+        data = run_stats_to_dict(sample_stats())
+        json.dumps(data)  # must not raise
+        assert data["schema"] == SCHEMA_VERSION
+
+    def test_meta_carried(self):
+        data = run_stats_to_dict(sample_stats(), meta={"seed": 3})
+        assert data["meta"] == {"seed": 3}
+
+    def test_schema_mismatch_rejected(self):
+        data = run_stats_to_dict(sample_stats())
+        data["schema"] = 99
+        with pytest.raises(ValueError):
+            run_stats_from_dict(data)
+
+    def test_fingerprint_stable_and_sensitive(self):
+        a = sample_stats()
+        b = sample_stats()
+        assert fingerprint(a) == fingerprint(b)  # deterministic runs
+        # A contended configuration where systems genuinely diverge.
+        base = run_workload(
+            get_workload("intruder"),
+            RunConfig(
+                spec=get_system("Baseline"), threads=4, scale=0.1, seed=3
+            ),
+        )
+        full = run_workload(
+            get_workload("intruder"),
+            RunConfig(
+                spec=get_system("LockillerTM"), threads=4, scale=0.1, seed=3
+            ),
+        )
+        assert fingerprint(base) != fingerprint(full)
+
+    def test_compare_runs_empty_for_identical(self):
+        a, b = sample_stats(), sample_stats()
+        assert compare_runs(a, b) == []
+
+    def test_compare_runs_reports_differences(self):
+        a = sample_stats()
+        b = loads(dumps(a))
+        b.cores[0].time[TimeCat.HTM] += 5
+        object.__setattr__(b, "execution_cycles", b.execution_cycles + 1)
+        diffs = compare_runs(a, b)
+        assert any("execution_cycles" in d for d in diffs)
+        assert any("time[htm]" in d for d in diffs)
+
+    def test_compare_detects_abort_changes(self):
+        a = sample_stats()
+        b = loads(dumps(a))
+        b.cores[0].aborts[AbortReason.OVERFLOW] += 2
+        assert any("aborts[of]" in d for d in compare_runs(a, b))
+
+    def test_empty_core_round_trip(self):
+        stats = RunStats(execution_cycles=0, cores=[CoreStats()])
+        assert loads(dumps(stats)).execution_cycles == 0
+
+
+class TestCharts:
+    def test_stacked_bar_width(self):
+        bar = stacked_bar({"htm": 0.5, "lock": 0.5}, width=10)
+        assert len(bar) == 10
+        assert bar.count("#") == 5 and bar.count("L") == 5
+
+    def test_stacked_bar_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            stacked_bar({"htm": 1.0}, width=0)
+
+    def test_breakdown_chart_has_legend_and_rows(self):
+        out = breakdown_chart(
+            {"sysA": {"htm": 1.0}, "sysB": {"waitlock": 1.0}}, width=8
+        )
+        assert "sysA" in out and "sysB" in out
+        assert "#=htm" in out
+
+    def test_hbar_chart_scales_to_max(self):
+        out = hbar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("=") == 5
+        assert lines[1].count("=") == 10
+        assert "2.00x" in lines[1]
+
+    def test_hbar_baseline_tick(self):
+        out = hbar_chart({"a": 0.5, "b": 2.0}, width=20, baseline=1.0)
+        assert "|" in out or "+" in out
+
+    def test_hbar_rejects_empty(self):
+        with pytest.raises(ValueError):
+            hbar_chart({})
+
+    def test_hbar_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            hbar_chart({"a": 0.0})
+
+    def test_sparkline_monotone(self):
+        line = series_sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line == "".join(sorted(line))
+
+    def test_sparkline_flat(self):
+        assert series_sparkline([2, 2, 2]) == "███"
+
+    def test_sparkline_rejects_empty(self):
+        with pytest.raises(ValueError):
+            series_sparkline([])

@@ -1,0 +1,157 @@
+"""Tests for the extension systems (switch-on-fault, static priority)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.stats import AbortReason
+from repro.core.extensions import (
+    STATIC_PRIORITY_SPEC,
+    SWITCH_ON_FAULT_SPEC,
+    extension_systems,
+)
+from repro.core.policies import PriorityKind, SystemSpec
+from repro.core.priority import StaticPriority, make_priority_provider
+from repro.htm.isa import Plain, Txn, compute, fault, load, store
+from repro.htm.txstate import TxMode, TxState
+from repro.sim.machine import Machine
+from repro.common.params import typical_params
+from conftest import line_addr
+
+
+def run_spec(programs, spec, seed=0):
+    m = Machine(typical_params(), spec, programs, seed=seed)
+    m.run()
+    return m
+
+
+class TestSpecValidation:
+    def test_switch_on_faults_requires_switching(self):
+        with pytest.raises(ConfigError):
+            SystemSpec(
+                name="bad",
+                recovery=True,
+                htmlock=True,
+                switching_on_faults=True,
+            )
+
+    def test_extension_registry(self):
+        exts = extension_systems()
+        assert "LockillerTM-XF" in exts
+        assert "LockillerTM-RWS" in exts
+
+    def test_not_in_table2(self):
+        from repro.harness.systems import SYSTEMS
+
+        assert "LockillerTM-XF" not in SYSTEMS
+        assert "LockillerTM-RWS" not in SYSTEMS
+
+    def test_describe_mentions_extension(self):
+        assert "switchOnFault(ext)" in SWITCH_ON_FAULT_SPEC.describe()
+
+
+class TestSwitchOnFault:
+    def test_fault_switches_instead_of_aborting(self):
+        prog = [[Txn([compute(5), fault(persistent=True),
+                      store(line_addr(1), 1)])]]
+        m = run_spec(prog, SWITCH_ON_FAULT_SPEC)
+        cs = m.core_stats[0]
+        assert cs.switch_attempts == 1
+        assert cs.switch_successes == 1
+        assert cs.commits_switched == 1
+        assert cs.aborts[AbortReason.FAULT] == 0
+        assert m.memsys.memory[line_addr(1)] == 1
+        assert m.hl_arbiter.owner is None
+
+    def test_denied_switch_falls_back_like_paper(self):
+        # Core 0 occupies HTMLock mode; core 1's fault-switch is denied
+        # and it aborts with reason fault, exactly like base LockillerTM.
+        prog0 = [Txn([fault(persistent=True), compute(30000),
+                      store(line_addr(9), 1)])]
+        prog1 = [
+            Plain([compute(1000)]),
+            Txn([fault(persistent=True), store(line_addr(2), 1)]),
+        ]
+        m = run_spec([prog0, prog1], SWITCH_ON_FAULT_SPEC)
+        cs1 = m.core_stats[1]
+        assert cs1.switch_attempts >= 1
+        assert cs1.aborts[AbortReason.FAULT] >= 1
+        assert m.memsys.memory[line_addr(2)] == 1  # still commits
+
+    def test_one_shot_fault_not_marked_taken_on_switch(self):
+        # A granted switch handles the trap non-speculatively; functional
+        # outcome is unchanged either way.
+        prog = [[Txn([fault(), store(line_addr(3), 1)])]]
+        m = run_spec(prog, SWITCH_ON_FAULT_SPEC)
+        assert m.memsys.memory[line_addr(3)] == 1
+
+    def test_helps_on_yada(self):
+        from repro.harness.systems import get_system
+        from repro.sim.runner import RunConfig, run_workload
+        from repro.workloads.registry import get_workload
+
+        base = run_workload(
+            get_workload("yada"),
+            RunConfig(spec=get_system("LockillerTM"), threads=4, scale=0.3,
+                      seed=3),
+        )
+        ext = run_workload(
+            get_workload("yada"),
+            RunConfig(spec=SWITCH_ON_FAULT_SPEC, threads=4, scale=0.3, seed=3),
+        )
+        # Rescuing faulting transactions must not hurt, and should
+        # convert fault aborts into switched commits.
+        assert ext.merged().commits_switched > base.merged().commits_switched
+        assert (
+            ext.abort_breakdown()[AbortReason.FAULT]
+            < base.abort_breakdown()[AbortReason.FAULT]
+        )
+
+
+class TestStaticPriority:
+    def test_provider_fixed_and_descending(self):
+        p = make_priority_provider(PriorityKind.STATIC)
+        assert isinstance(p, StaticPriority)
+        tx0, tx5 = TxState(0), TxState(5)
+        tx0.begin(TxMode.HTM, 0)
+        tx5.begin(TxMode.HTM, 0)
+        tx5.insts_in_attempt = 10**6  # irrelevant for static
+        assert p.priority_of(tx0, 0) > p.priority_of(tx5, 0)
+        assert p.priority_of(tx5, 0) == p.priority_of(tx5, 10**9)
+
+    def test_no_livelock_and_correct(self):
+        progs = [
+            [
+                Plain([compute(3 + t)]),
+                *[
+                    Txn([load(line_addr(0)), store(line_addr(0), 1)])
+                    for _ in range(4)
+                ],
+            ]
+            for t in range(4)
+        ]
+        m = run_spec(progs, STATIC_PRIORITY_SPEC)
+        assert m.memsys.memory[line_addr(0)] == 16
+
+    def test_static_is_unfair(self):
+        # Low-id (high static priority) cores should see fewer aborts
+        # than high-id cores on a symmetric contended workload.
+        progs = [
+            [
+                Plain([compute(3 + t)]),
+                *[
+                    Txn(
+                        [
+                            compute(10),
+                            load(line_addr(0)),
+                            store(line_addr(0), 1),
+                            compute(10),
+                        ]
+                    )
+                    for _ in range(12)
+                ],
+            ]
+            for t in range(6)
+        ]
+        m = run_spec(progs, STATIC_PRIORITY_SPEC, seed=4)
+        aborts = [cs.total_aborts for cs in m.core_stats]
+        assert aborts[0] <= aborts[-1]

@@ -1,0 +1,95 @@
+"""Whole-matrix integration: every system x every workload, verified.
+
+Each cell runs at small scale with the runner's full functional and
+coherence verification armed; cross-cutting invariants (commit
+accounting, billing conservation, mutex-elimination under HTMLock) are
+asserted over the entire matrix.
+"""
+
+import pytest
+
+from repro.common.stats import AbortReason
+from repro.harness.systems import TABLE_ORDER, get_system
+from repro.htm.isa import Txn
+from repro.sim.runner import RunConfig, run_workload
+from repro.workloads.registry import PAPER_ORDER, get_workload
+
+THREADS = 4
+SCALE = 0.08
+SEED = 31
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    out = {}
+    for wl in PAPER_ORDER + ["bayes"]:
+        build = get_workload(wl).build(THREADS, SCALE, SEED)
+        n_txns = sum(
+            1 for p in build.programs for s in p if isinstance(s, Txn)
+        )
+        for system in TABLE_ORDER:
+            stats = run_workload(
+                build,
+                RunConfig(
+                    spec=get_system(system),
+                    threads=THREADS,
+                    scale=SCALE,
+                    seed=SEED,
+                ),
+            )
+            out[(wl, system)] = (stats, n_txns)
+    return out
+
+
+class TestMatrix:
+    def test_every_cell_verified(self, matrix):
+        assert len(matrix) == 10 * 9
+        for (wl, system), (stats, _) in matrix.items():
+            assert stats.sanity_failures == [], (wl, system)
+
+    def test_commit_accounting_exact(self, matrix):
+        for (wl, system), (stats, n_txns) in matrix.items():
+            assert stats.commits == n_txns, (wl, system)
+
+    def test_billing_conservation(self, matrix):
+        for (wl, system), (stats, _) in matrix.items():
+            for i, cs in enumerate(stats.cores):
+                assert sum(cs.time.values()) == stats.execution_cycles, (
+                    wl,
+                    system,
+                    i,
+                )
+
+    def test_cgl_never_aborts(self, matrix):
+        for wl in PAPER_ORDER:
+            stats, _ = matrix[(wl, "CGL")]
+            assert stats.total_aborts == 0, wl
+
+    def test_htmlock_systems_have_no_mutex_aborts(self, matrix):
+        for (wl, system), (stats, _) in matrix.items():
+            if get_system(system).htmlock:
+                assert (
+                    stats.abort_breakdown()[AbortReason.MUTEX] == 0
+                ), (wl, system)
+
+    def test_switching_only_in_full_system(self, matrix):
+        for (wl, system), (stats, _) in matrix.items():
+            switched = stats.merged().commits_switched
+            if not get_system(system).switching:
+                assert switched == 0, (wl, system)
+
+    def test_rejects_only_under_recovery(self, matrix):
+        for (wl, system), (stats, _) in matrix.items():
+            spec = get_system(system)
+            if not spec.recovery:
+                assert stats.merged().rejects_received == 0, (wl, system)
+
+    def test_all_systems_agree_functionally(self, matrix):
+        # Same workload build on every system -> identical commits
+        # (memory equality is asserted per-run by the runner).
+        for wl in PAPER_ORDER:
+            commits = {
+                system: matrix[(wl, system)][0].commits
+                for system in TABLE_ORDER
+            }
+            assert len(set(commits.values())) == 1, (wl, commits)

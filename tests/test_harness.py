@@ -1,0 +1,133 @@
+"""Tests for the experiment harness and reporting helpers."""
+
+import pytest
+
+from repro.harness.experiments import (
+    ExperimentContext,
+    breakdown_experiment,
+    extreme_scenario,
+    fig1_motivation,
+    fig7_speedup_grid,
+    fig8_commit_rate,
+    fig10_abort_reasons,
+    fig12_avg_speedup,
+    headline_ratios,
+    print_fig1,
+    print_fig10,
+    print_fig12,
+    table1_parameters,
+    table2_systems,
+)
+from repro.harness.reporting import (
+    format_breakdown_table,
+    format_series,
+    format_table,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx() -> ExperimentContext:
+    # Tiny context shared by all harness tests (module-scoped cache).
+    return ExperimentContext(
+        scale=0.06,
+        seed=5,
+        threads=(2, 4),
+        workloads=("intruder", "kmeans+", "ssca2"),
+    )
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bee"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in out and "30" in out
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_format_series(self):
+        out = format_series({"s1": {2: 1.5, 4: 2.0}}, title="x")
+        assert "s1" in out and "1.50" in out and "2.00" in out
+
+    def test_format_breakdown_percent(self):
+        out = format_breakdown_table(
+            {"sys": {"htm": 0.25, "lock": 0.75}},
+            row_order=["sys"],
+            col_order=["htm", "lock"],
+        )
+        assert "25.0%" in out and "75.0%" in out
+
+
+class TestTables:
+    def test_table1_mentions_key_params(self):
+        out = table1_parameters()
+        assert "32KB" in out and "8MB" in out and "4x8" in out
+
+    def test_table2_lists_all_systems(self):
+        out = table2_systems()
+        for name in ("CGL", "Baseline", "LosaTM-SAFU", "LockillerTM"):
+            assert name in out
+
+
+class TestExperiments:
+    def test_run_cache_hits(self, ctx):
+        a = ctx.run("ssca2", "CGL", 2)
+        b = ctx.run("ssca2", "CGL", 2)
+        assert a is b  # memoized
+
+    def test_fig1_covers_all_workloads(self, ctx):
+        data = fig1_motivation(ctx)
+        assert set(data) == set(ctx.workloads)
+        assert all(v > 0 for v in data.values())
+
+    def test_fig7_grid_shape(self, ctx):
+        grid = fig7_speedup_grid(ctx, systems=("Baseline", "LockillerTM"))
+        assert set(grid) == set(ctx.workloads)
+        for per_system in grid.values():
+            assert set(per_system) == {"Baseline", "LockillerTM"}
+            for series in per_system.values():
+                assert set(series) == set(ctx.threads)
+
+    def test_fig8_rates_bounded(self, ctx):
+        data = fig8_commit_rate(ctx)
+        for series in data.values():
+            for rate in series.values():
+                assert 0.0 < rate <= 1.0
+
+    def test_breakdown_fractions_sum(self, ctx):
+        data = breakdown_experiment(ctx, 2, ("Baseline", "LockillerTM"))
+        for per_system in data.values():
+            for entry in per_system.values():
+                assert sum(entry["fractions"].values()) == pytest.approx(1.0)
+                assert 0 < entry["commit_rate"] <= 1.0
+
+    def test_fig10_fractions(self, ctx):
+        data = fig10_abort_reasons(ctx, threads=2)
+        for per_system in data.values():
+            for fractions in per_system.values():
+                total = sum(fractions.values())
+                assert total == pytest.approx(1.0) or total == 0.0
+
+    def test_fig12_includes_all_systems(self, ctx):
+        data = fig12_avg_speedup(ctx, systems=("Baseline", "LockillerTM"))
+        assert set(data) == {"Baseline", "LockillerTM"}
+
+    def test_headline_ratios_positive(self, ctx):
+        heads = headline_ratios(ctx)
+        assert heads["vs Baseline"] > 0
+        assert heads["vs LosaTM-SAFU"] > 0
+
+    def test_extreme_scenario_runs(self, ctx):
+        ext = extreme_scenario(ctx)
+        assert ext["max vs Baseline"] > 0
+
+    def test_printers_return_text(self, ctx):
+        assert "Fig. 1" in print_fig1(ctx)
+        assert "Fig. 10" in print_fig10(ctx)
+        assert "headline" in print_fig12(ctx)
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_THREADS", "2,4,8")
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        c = ExperimentContext()
+        assert c.threads == (2, 4, 8)
+        assert c.scale == 0.5

@@ -1,0 +1,80 @@
+"""Unit tests for the micro-op ISA and program representation."""
+
+import pytest
+
+from repro.htm.isa import (
+    OP_COMPUTE,
+    OP_FAULT,
+    OP_LOAD,
+    OP_STORE,
+    Plain,
+    Txn,
+    compute,
+    fault,
+    load,
+    program_stats,
+    store,
+)
+
+
+class TestOpConstructors:
+    def test_compute(self):
+        assert compute(5) == (OP_COMPUTE, 5, 0)
+
+    def test_compute_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            compute(0)
+
+    def test_load(self):
+        assert load(128) == (OP_LOAD, 128, 0)
+        with pytest.raises(ValueError):
+            load(-1)
+
+    def test_store(self):
+        assert store(128, 7) == (OP_STORE, 128, 7)
+        assert store(128) == (OP_STORE, 128, 0)
+        with pytest.raises(ValueError):
+            store(-4, 1)
+
+    def test_fault(self):
+        assert fault() == (OP_FAULT, 0, 0)
+        assert fault(persistent=True) == (OP_FAULT, 1, 0)
+
+
+class TestSegments:
+    def test_segment_validates_ops(self):
+        with pytest.raises(ValueError):
+            Plain([(99, 0, 0)])
+        with pytest.raises(ValueError):
+            Plain([(OP_LOAD, 1)])  # malformed tuple
+
+    def test_txn_line_sets(self):
+        t = Txn([compute(2), load(0), load(64), store(64, 1), store(256, 1)])
+        assert t.read_lines() == {0, 1, 4}
+        assert t.write_lines() == {1, 4}
+
+    def test_num_ops(self):
+        assert Plain([compute(1), load(0)]).num_ops == 2
+
+    def test_txn_tag(self):
+        assert Txn([load(0)], tag="x").tag == "x"
+
+
+class TestProgramStats:
+    def test_counts(self):
+        prog = [
+            Plain([compute(10), load(0)]),
+            Txn([load(0), store(64, 1), fault()]),
+            Txn([store(128, 2)]),
+        ]
+        s = program_stats(prog)
+        assert s["segments"] == 3
+        assert s["txns"] == 2
+        assert s["loads"] == 2
+        assert s["stores"] == 2
+        assert s["faults"] == 1
+        assert s["mean_tx_ops"] == pytest.approx(2.0)
+
+    def test_empty_program(self):
+        s = program_stats([])
+        assert s["txns"] == 0 and s["mean_tx_ops"] == 0.0

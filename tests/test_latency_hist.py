@@ -1,0 +1,100 @@
+"""Tests for the streaming latency histogram and its wiring."""
+
+import pytest
+
+from repro.common.stats import LatencyHistogram
+from repro.harness.export import dumps, loads
+from repro.harness.systems import get_system
+from repro.sim.runner import RunConfig, run_workload
+from repro.workloads.registry import get_workload
+
+
+class TestHistogram:
+    def test_record_and_mean(self):
+        h = LatencyHistogram()
+        for v in (10, 20, 30):
+            h.record(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(20.0)
+
+    def test_bucketing(self):
+        h = LatencyHistogram()
+        h.record(5)   # bit_length 3 -> [4, 8)
+        h.record(7)
+        h.record(100)  # bit_length 7 -> [64, 128)
+        assert h.buckets[3] == 2
+        assert h.buckets[7] == 1
+
+    def test_quantiles_monotone(self):
+        h = LatencyHistogram()
+        for v in range(1, 200):
+            h.record(v)
+        q50 = h.quantile_upper_bound(0.5)
+        q95 = h.quantile_upper_bound(0.95)
+        assert q50 <= q95
+        assert 64 <= q50 <= 255  # median 100 lives in [64,128)
+
+    def test_quantile_validation(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.quantile_upper_bound(0.0)
+        assert h.quantile_upper_bound(0.5) == 0  # empty
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1)
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(10)
+        b.record(1000)
+        a.merge(b)
+        assert a.count == 2
+        assert a.total == 1010
+
+    def test_zero_value(self):
+        h = LatencyHistogram()
+        h.record(0)
+        assert h.buckets[0] == 1
+        assert h.quantile_upper_bound(1.0) == 0
+
+    def test_round_trip_dict(self):
+        h = LatencyHistogram()
+        for v in (3, 50, 700):
+            h.record(v)
+        again = LatencyHistogram.from_dict(h.as_dict())
+        assert again.buckets == h.buckets
+        assert again.mean == h.mean
+
+
+class TestWiring:
+    def _run(self, system):
+        return run_workload(
+            get_workload("vacation+"),
+            RunConfig(spec=get_system(system), threads=4, scale=0.1, seed=2),
+        )
+
+    def test_every_commit_recorded(self):
+        stats = self._run("LockillerTM")
+        merged = stats.merged()
+        assert merged.commit_latency_hist.count == merged.commits
+
+    def test_cgl_commits_recorded_too(self):
+        stats = self._run("CGL")
+        merged = stats.merged()
+        assert merged.commit_latency_hist.count == merged.commits_lock
+
+    def test_percentiles_reasonable(self):
+        stats = self._run("LockillerTM")
+        h = stats.merged().commit_latency_hist
+        p50 = h.quantile_upper_bound(0.5)
+        p99 = h.quantile_upper_bound(0.99)
+        assert 0 < p50 <= p99 < stats.execution_cycles
+
+    def test_survives_export_round_trip(self):
+        stats = self._run("Baseline")
+        again = loads(dumps(stats))
+        assert (
+            again.merged().commit_latency_hist.buckets
+            == stats.merged().commit_latency_hist.buckets
+        )

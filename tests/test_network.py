@@ -1,0 +1,78 @@
+"""Unit tests for the NoC latency model and message vocabulary."""
+
+import pytest
+
+from repro.common.params import NetworkParams
+from repro.interconnect.message import Message, MessageClass, MsgType
+from repro.interconnect.network import NetworkModel
+from repro.interconnect.topology import MeshTopology
+
+
+@pytest.fixture
+def net() -> NetworkModel:
+    params = NetworkParams()
+    return NetworkModel(MeshTopology(params), params)
+
+
+class TestMessageClasses:
+    def test_data_messages(self):
+        assert MsgType.DATA_EXCLUSIVE.msg_class is MessageClass.DATA
+        assert MsgType.DATA_SHARED.msg_class is MessageClass.DATA
+        assert MsgType.PUTM.msg_class is MessageClass.DATA
+
+    def test_control_messages(self):
+        for mt in (
+            MsgType.GETS,
+            MsgType.GETM,
+            MsgType.NACK,
+            MsgType.REJECT,
+            MsgType.WAKEUP,
+            MsgType.INV,
+            MsgType.UNBLOCK,
+        ):
+            assert mt.msg_class is MessageClass.CONTROL
+
+    def test_message_carries_priority(self):
+        m = Message(MsgType.GETM, 0, 5, line=7, priority=42, requester=1)
+        assert m.priority == 42
+        assert m.msg_class is MessageClass.CONTROL
+
+
+class TestLatency:
+    def test_control_one_hop(self, net):
+        # 1 hop * (link 1 + router 1) + 0 tail flits = 2
+        assert net.control_latency(0, 1) == 2
+
+    def test_data_one_hop(self, net):
+        # 1 hop * 2 + 4 tail flits = 6
+        assert net.data_latency(0, 1) == 6
+
+    def test_control_corner_to_corner(self, net):
+        assert net.control_latency(0, 31) == 20
+
+    def test_local_delivery_nonzero(self, net):
+        assert net.control_latency(3, 3) == 1
+        assert net.data_latency(3, 3) == 5
+
+    def test_data_slower_than_control(self, net):
+        for a, b in ((0, 1), (0, 31), (5, 20)):
+            assert net.data_latency(a, b) > net.control_latency(a, b)
+
+    def test_round_trip_is_sum(self, net):
+        assert net.round_trip(0, 3) == net.control_latency(0, 3) + net.data_latency(3, 0)
+
+    def test_latency_for_by_type(self, net):
+        assert net.latency_for(0, 1, MsgType.GETS) == 2
+        assert net.latency_for(0, 1, MsgType.DATA_SHARED) == 6
+
+    def test_counters_accumulate(self, net):
+        before = net.messages_sent
+        net.control_latency(0, 2)
+        net.data_latency(2, 0)
+        assert net.messages_sent == before + 2
+        assert net.flits_sent >= 6
+        assert net.hops_traversed >= 4
+
+    def test_monotone_in_distance(self, net):
+        lats = [net.control_latency(0, t) for t in (1, 2, 3)]
+        assert lats == sorted(lats)

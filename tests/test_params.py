@@ -1,0 +1,101 @@
+"""Unit tests for repro.common.params (Table I configurations)."""
+
+import pytest
+
+from repro.common.params import (
+    CacheParams,
+    HtmParams,
+    MemoryParams,
+    NetworkParams,
+    SystemParams,
+    large_cache_params,
+    small_cache_params,
+    typical_params,
+)
+
+
+class TestCacheParams:
+    def test_table1_l1_geometry(self):
+        l1 = CacheParams(32 * 1024, 4, 2)
+        assert l1.num_lines == 512
+        assert l1.num_sets == 128
+
+    def test_table1_llc_geometry(self):
+        llc = CacheParams(8 * 1024 * 1024, 16, 12)
+        assert llc.num_lines == 131072
+        assert llc.num_sets == 8192
+
+    def test_set_index_wraps(self):
+        l1 = CacheParams(8 * 64, 2, 1)
+        assert l1.num_sets == 4
+        assert l1.set_index(0) == 0
+        assert l1.set_index(5) == 1
+        assert l1.set_index(7) == 3
+        assert l1.set_index(8) == 0
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            CacheParams(0, 4, 2)
+
+    def test_rejects_nonpositive_assoc(self):
+        with pytest.raises(ValueError):
+            CacheParams(1024, 0, 2)
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ValueError):
+            CacheParams(1000, 3, 2)
+
+    def test_frozen(self):
+        l1 = CacheParams(32 * 1024, 4, 2)
+        with pytest.raises(AttributeError):
+            l1.assoc = 8
+
+
+class TestNetworkParams:
+    def test_defaults_match_table1(self):
+        n = NetworkParams()
+        assert (n.mesh_cols, n.mesh_rows) == (4, 8)
+        assert n.num_tiles == 32
+        assert n.link_latency == 1
+        assert n.data_flits == 5
+        assert n.control_flits == 1
+        assert n.flit_bytes == 16
+
+
+class TestSystemParams:
+    def test_typical_matches_table1(self):
+        p = typical_params()
+        assert p.num_cores == 32
+        assert p.l1.size_bytes == 32 * 1024
+        assert p.llc.size_bytes == 8 * 1024 * 1024
+        assert p.memory.latency == 100
+
+    def test_small_cache_config(self):
+        p = small_cache_params()
+        assert p.l1.size_bytes == 8 * 1024
+        assert p.llc.size_bytes == 1024 * 1024
+
+    def test_large_cache_config(self):
+        p = large_cache_params()
+        assert p.l1.size_bytes == 128 * 1024
+        assert p.llc.size_bytes == 32 * 1024 * 1024
+
+    def test_overrides(self):
+        p = typical_params(num_cores=8)
+        assert p.num_cores == 8
+        p2 = small_cache_params(num_cores=2)
+        assert p2.num_cores == 2 and p2.l1.size_bytes == 8 * 1024
+
+    def test_too_many_cores_rejected(self):
+        with pytest.raises(ValueError):
+            SystemParams(num_cores=64)
+
+    def test_memory_defaults(self):
+        m = MemoryParams()
+        assert m.size_bytes == 8 << 30
+
+    def test_htm_defaults_sane(self):
+        h = HtmParams()
+        assert h.max_retries > 0
+        assert h.signature_bits & (h.signature_bits - 1) == 0
+        assert h.backoff_cap >= h.backoff_base

@@ -1,0 +1,196 @@
+"""Unit tests for SystemSpec validation and the conflict managers."""
+
+import pytest
+
+from repro.common.errors import ConfigError, ProtocolInvariantError
+from repro.common.stats import AbortReason
+from repro.core.conflict import (
+    HolderInfo,
+    RecoveryConflictManager,
+    RequesterInfo,
+    RequesterWinsManager,
+    build_conflict_manager,
+)
+from repro.core.policies import PriorityKind, RequesterPolicy, SystemSpec
+from repro.htm.txstate import LOCK_PRIORITY, TxMode
+
+
+def spec(**kw):
+    base = dict(name="t", use_htm=True)
+    base.update(kw)
+    return SystemSpec(**base)
+
+
+class TestSystemSpecValidation:
+    def test_switching_requires_htmlock(self):
+        with pytest.raises(ConfigError):
+            spec(recovery=True, switching=True)
+
+    def test_htmlock_requires_recovery(self):
+        with pytest.raises(ConfigError):
+            spec(htmlock=True)
+
+    def test_cgl_cannot_arm_mechanisms(self):
+        with pytest.raises(ConfigError):
+            spec(use_htm=False, recovery=True)
+
+    def test_valid_full_stack(self):
+        s = spec(recovery=True, htmlock=True, switching=True)
+        assert not s.is_cgl
+        assert "switchingMode" in s.describe()
+
+    def test_cgl_describe(self):
+        assert "locking" in spec(use_htm=False).describe()
+
+    def test_build_manager_kinds(self):
+        assert isinstance(
+            build_conflict_manager(spec()), RequesterWinsManager
+        )
+        assert isinstance(
+            build_conflict_manager(spec(recovery=True)),
+            RecoveryConflictManager,
+        )
+        assert isinstance(
+            build_conflict_manager(spec(use_htm=False)),
+            RequesterWinsManager,
+        )
+
+
+def req(core=0, mode=TxMode.HTM, priority=0, is_write=True):
+    return RequesterInfo(core, mode, priority, is_write)
+
+
+def holder(core=1, mode=TxMode.HTM, priority=0, writer=True, sig=False):
+    return HolderInfo(core, mode, priority, writer, via_signature=sig)
+
+
+class TestRequesterWins:
+    def setup_method(self):
+        self.mgr = RequesterWinsManager(spec())
+
+    def test_no_holders_granted(self):
+        res = self.mgr.resolve(req(), [])
+        assert res.granted and not res.victims
+
+    def test_all_holders_abort(self):
+        res = self.mgr.resolve(req(), [holder(1), holder(2, writer=False)])
+        assert res.granted
+        assert sorted(v[0] for v in res.victims) == [1, 2]
+        assert all(r is AbortReason.CONFLICT_HTM for _, r in res.victims)
+
+    def test_non_tx_requester_reason(self):
+        res = self.mgr.resolve(req(mode=TxMode.NONE), [holder(1)])
+        assert res.victims[0][1] is AbortReason.CONFLICT_NON_TRAN
+
+    def test_fallback_requester_reason_is_mutex(self):
+        res = self.mgr.resolve(req(mode=TxMode.FALLBACK), [holder(1)])
+        assert res.victims[0][1] is AbortReason.MUTEX
+
+    def test_lock_holder_is_invariant_violation(self):
+        with pytest.raises(ProtocolInvariantError):
+            self.mgr.resolve(req(), [holder(1, mode=TxMode.TL)])
+
+    def test_self_conflict_rejected(self):
+        with pytest.raises(ProtocolInvariantError):
+            self.mgr.resolve(req(core=1), [holder(core=1)])
+
+    def test_counters(self):
+        self.mgr.resolve(req(), [holder()])
+        assert self.mgr.grants == 1 and self.mgr.rejects == 0
+
+
+class TestRecovery:
+    def setup_method(self):
+        self.mgr = RecoveryConflictManager(
+            spec(recovery=True, priority_kind=PriorityKind.INSTS)
+        )
+
+    def test_higher_priority_requester_wins(self):
+        res = self.mgr.resolve(req(priority=10), [holder(priority=5)])
+        assert res.granted
+        assert res.victims == [(1, AbortReason.CONFLICT_HTM)]
+
+    def test_lower_priority_requester_rejected(self):
+        res = self.mgr.resolve(req(priority=5), [holder(priority=10)])
+        assert not res.granted
+        assert res.reject_holder == 1
+        assert not res.reject_by_lock
+
+    def test_tie_breaks_by_core_id(self):
+        # Requester core 0 vs holder core 1, equal priority: 0 wins.
+        res = self.mgr.resolve(req(core=0, priority=5), [holder(core=1, priority=5)])
+        assert res.granted
+        # Requester core 2 vs holder core 1: holder wins.
+        res = self.mgr.resolve(req(core=2, priority=5), [holder(core=1, priority=5)])
+        assert not res.granted
+
+    def test_must_beat_every_holder(self):
+        res = self.mgr.resolve(
+            req(priority=10),
+            [holder(core=1, priority=5), holder(core=2, priority=20)],
+        )
+        assert not res.granted
+        assert res.reject_holder == 2  # the strongest blocker
+
+    def test_reject_holder_is_strongest(self):
+        res = self.mgr.resolve(
+            req(priority=0),
+            [holder(core=3, priority=5), holder(core=1, priority=9)],
+        )
+        assert res.reject_holder == 1
+
+    def test_lock_holder_always_rejects(self):
+        res = self.mgr.resolve(
+            req(priority=10**9),
+            [holder(core=4, mode=TxMode.TL, priority=LOCK_PRIORITY)],
+        )
+        assert not res.granted
+        assert res.reject_by_lock
+        assert res.reject_holder == 4
+
+    def test_signature_holder_rejects_too(self):
+        res = self.mgr.resolve(
+            req(), [holder(core=4, mode=TxMode.STL, priority=LOCK_PRIORITY, sig=True)]
+        )
+        assert not res.granted and res.reject_by_lock
+
+    def test_plain_requester_beats_htm_holders(self):
+        res = self.mgr.resolve(req(mode=TxMode.NONE), [holder(priority=10**6)])
+        assert res.granted
+        assert res.victims[0][1] is AbortReason.CONFLICT_NON_TRAN
+
+    def test_plain_requester_loses_to_lock_holder(self):
+        res = self.mgr.resolve(
+            req(mode=TxMode.NONE),
+            [holder(mode=TxMode.TL, priority=LOCK_PRIORITY)],
+        )
+        assert not res.granted and res.reject_by_lock
+
+    def test_lock_requester_aborts_htm_holders_with_lock_reason(self):
+        res = self.mgr.resolve(
+            req(mode=TxMode.STL, priority=LOCK_PRIORITY),
+            [holder(priority=999)],
+        )
+        assert res.granted
+        assert res.victims[0][1] is AbortReason.CONFLICT_LOCK
+
+    def test_two_lock_holders_invariant(self):
+        with pytest.raises(ProtocolInvariantError):
+            self.mgr.resolve(
+                req(),
+                [
+                    holder(core=1, mode=TxMode.TL, priority=LOCK_PRIORITY),
+                    holder(core=2, mode=TxMode.STL, priority=LOCK_PRIORITY),
+                ],
+            )
+
+    def test_lock_vs_lock_invariant(self):
+        with pytest.raises(ProtocolInvariantError):
+            self.mgr.resolve(
+                req(mode=TxMode.TL, priority=LOCK_PRIORITY),
+                [holder(mode=TxMode.STL, priority=LOCK_PRIORITY)],
+            )
+
+    def test_reject_counter(self):
+        self.mgr.resolve(req(priority=0), [holder(priority=10)])
+        assert self.mgr.rejects == 1

@@ -1,0 +1,139 @@
+"""Property-based end-to-end tests: atomicity and isolation hold for
+randomly generated transactional programs on every evaluated system.
+
+The generator draws arbitrary small multi-threaded programs over a tiny,
+highly-contended address space — the worst case for the conflict
+machinery.  The runner itself asserts the interleaving-independent final
+memory image (every transaction commits exactly once, no lost or leaked
+speculative updates), SWMR, and quiescence; anything wrong raises.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.harness.systems import get_system
+from repro.htm.isa import Plain, Txn, compute, fault, load, store
+from repro.sim.machine import Machine
+from repro.common.params import CacheParams, SystemParams
+from repro.workloads.base import expected_final_memory
+
+SYSTEMS = [
+    "CGL",
+    "Baseline",
+    "LosaTM-SAFU",
+    "LockillerTM-RAI",
+    "LockillerTM-RRI",
+    "LockillerTM-RWI",
+    "LockillerTM-RWL",
+    "LockillerTM-RWIL",
+    "LockillerTM",
+]
+
+N_LINES = 6  # tiny shared space -> heavy contention
+
+
+@st.composite
+def txn_ops(draw):
+    n = draw(st.integers(1, 6))
+    ops = [compute(draw(st.integers(1, 8)))]
+    for _ in range(n):
+        kind = draw(st.integers(0, 2))
+        line = draw(st.integers(0, N_LINES - 1))
+        if kind == 0:
+            ops.append(load(line * 64))
+        elif kind == 1:
+            ops.append(store(line * 64, draw(st.integers(1, 3))))
+        else:
+            ops.append(compute(draw(st.integers(1, 5))))
+    if draw(st.booleans()) and draw(st.integers(0, 9)) == 0:
+        ops.insert(1, fault(persistent=draw(st.booleans())))
+    return ops
+
+
+@st.composite
+def programs(draw):
+    n_threads = draw(st.integers(1, 4))
+    progs = []
+    for _ in range(n_threads):
+        segments = []
+        for _ in range(draw(st.integers(1, 4))):
+            if draw(st.booleans()):
+                segments.append(Txn(draw(txn_ops())))
+            else:
+                ops = [compute(draw(st.integers(1, 20)))]
+                if draw(st.booleans()):
+                    ops.append(
+                        store(
+                            draw(st.integers(0, N_LINES - 1)) * 64,
+                            draw(st.integers(1, 2)),
+                        )
+                    )
+                segments.append(Plain(ops))
+        progs.append(segments)
+    return progs
+
+
+def tiny_machine_params():
+    return SystemParams(
+        num_cores=4,
+        l1=CacheParams(4 * 64, 2, 2),  # 2 sets x 2 ways: overflow-prone
+        llc=CacheParams(1024 * 64, 16, 12),
+    )
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@given(progs=programs(), seed=st.integers(0, 2**16))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_programs_preserve_atomicity(system, progs, seed):
+    machine = Machine(
+        tiny_machine_params(), get_system(system), progs, seed=seed
+    )
+    machine.run()
+    expected = expected_final_memory(progs)
+    got = {a: v for a, v in machine.memsys.memory.items() if v != 0}
+    assert got == expected
+    assert machine.memsys.check_quiescent() == []
+    assert not machine.fallback_lock.held
+    assert machine.hl_arbiter.owner is None
+    # Every transaction committed exactly once.
+    n_txns = sum(1 for p in progs for s in p if isinstance(s, Txn))
+    commits = sum(cs.commits for cs in machine.core_stats)
+    assert commits == n_txns
+
+
+@given(progs=programs(), seed=st.integers(0, 2**10))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_paranoid_swmr_every_access(progs, seed):
+    """Run with per-access SWMR checking enabled (LockillerTM stack)."""
+    machine = Machine(
+        tiny_machine_params(), get_system("LockillerTM"), progs, seed=seed
+    )
+    machine.memsys.paranoid = True
+    machine.run()
+
+
+@given(progs=programs())
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_all_systems_agree_on_final_memory(progs):
+    images = []
+    for system in ("CGL", "Baseline", "LockillerTM"):
+        machine = Machine(
+            tiny_machine_params(), get_system(system), progs, seed=3
+        )
+        machine.run()
+        images.append(
+            {a: v for a, v in machine.memsys.memory.items() if v != 0}
+        )
+    assert images[0] == images[1] == images[2]

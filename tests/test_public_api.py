@@ -1,0 +1,75 @@
+"""Public API surface checks: imports, __all__, and docstring hygiene."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quick_tour_smoke(self):
+        """The snippet from the package docstring actually works."""
+        from repro import RunConfig, get_system, get_workload, run_workload
+
+        stats = run_workload(
+            get_workload("intruder"),
+            RunConfig(spec=get_system("LockillerTM"), threads=4, scale=0.05),
+        )
+        assert stats.commit_rate > 0
+
+
+def iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+ALL_MODULES = sorted(iter_modules())
+
+
+class TestModuleHygiene:
+    @pytest.mark.parametrize("modname", ALL_MODULES)
+    def test_module_imports_cleanly(self, modname):
+        mod = importlib.import_module(modname)
+        assert mod is not None
+
+    @pytest.mark.parametrize("modname", ALL_MODULES)
+    def test_module_has_docstring(self, modname):
+        mod = importlib.import_module(modname)
+        assert mod.__doc__ and mod.__doc__.strip(), modname
+
+    def test_expected_subpackages_present(self):
+        pkgs = {m.split(".")[1] for m in ALL_MODULES if m.count(".") >= 1}
+        assert {
+            "common",
+            "interconnect",
+            "coherence",
+            "htm",
+            "core",
+            "sim",
+            "workloads",
+            "baselines",
+            "harness",
+        } <= pkgs
+
+    def test_public_classes_documented(self):
+        """Every public class in the core mechanism package has a doc."""
+        import inspect
+
+        for modname in (m for m in ALL_MODULES if ".core." in m):
+            mod = importlib.import_module(modname)
+            for name, obj in vars(mod).items():
+                if (
+                    inspect.isclass(obj)
+                    and obj.__module__ == modname
+                    and not name.startswith("_")
+                ):
+                    assert obj.__doc__, f"{modname}.{name} missing docstring"

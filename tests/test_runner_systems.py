@@ -1,0 +1,125 @@
+"""Tests for the run orchestration and the Table-II system registry."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.params import typical_params
+from repro.core.policies import PriorityKind, RequesterPolicy
+from repro.harness.systems import (
+    SYSTEMS,
+    TABLE_ORDER,
+    get_system,
+    system_names,
+)
+from repro.sim.runner import RunConfig, run_workload
+from repro.workloads.registry import get_workload
+
+
+class TestSystemsRegistry:
+    def test_table2_complete(self):
+        assert system_names() == TABLE_ORDER
+        assert len(TABLE_ORDER) == 9
+
+    def test_cgl_is_locking(self):
+        assert get_system("CGL").is_cgl
+
+    def test_baseline_is_requester_wins(self):
+        s = get_system("Baseline")
+        assert s.use_htm and not s.recovery
+
+    def test_losatm_uses_progression_and_wakeup(self):
+        s = get_system("LosaTM-SAFU")
+        assert s.recovery
+        assert s.priority_kind is PriorityKind.PROGRESSION
+        assert s.requester_policy is RequesterPolicy.WAIT_WAKEUP
+        assert not s.htmlock
+
+    def test_rai_rri_rwi_policies(self):
+        assert get_system("LockillerTM-RAI").requester_policy is RequesterPolicy.SELF_ABORT
+        assert get_system("LockillerTM-RRI").requester_policy is RequesterPolicy.RETRY_LATER
+        assert get_system("LockillerTM-RWI").requester_policy is RequesterPolicy.WAIT_WAKEUP
+        for name in ("LockillerTM-RAI", "LockillerTM-RRI", "LockillerTM-RWI"):
+            s = get_system(name)
+            assert s.priority_kind is PriorityKind.INSTS
+            assert not s.htmlock
+
+    def test_rwl_drops_insts_priority(self):
+        s = get_system("LockillerTM-RWL")
+        assert s.htmlock and s.priority_kind is PriorityKind.NONE
+
+    def test_rwil_and_full(self):
+        rwil = get_system("LockillerTM-RWIL")
+        assert rwil.htmlock and not rwil.switching
+        full = get_system("LockillerTM")
+        assert full.htmlock and full.switching
+
+    def test_unknown_system(self):
+        with pytest.raises(ConfigError):
+            get_system("TSX")
+
+    def test_all_specs_named_consistently(self):
+        for name, spec in SYSTEMS.items():
+            assert spec.name == name
+
+
+class TestRunner:
+    def test_end_to_end_small_run(self):
+        stats = run_workload(
+            get_workload("kmeans-"),
+            RunConfig(spec=get_system("Baseline"), threads=2, scale=0.05, seed=1),
+        )
+        assert stats.execution_cycles > 0
+        assert stats.commits > 0
+        assert stats.sanity_failures == []
+
+    def test_prebuilt_workload_accepted(self):
+        build = get_workload("ssca2").build(threads=2, scale=0.05, seed=1)
+        stats = run_workload(
+            build, RunConfig(spec=get_system("CGL"), threads=2, scale=0.05)
+        )
+        assert stats.commits == sum(
+            1 for p in build.programs for s in p if hasattr(s, "tag")
+        )
+
+    def test_prebuilt_thread_mismatch(self):
+        build = get_workload("ssca2").build(threads=2, scale=0.05, seed=1)
+        with pytest.raises(SimulationError):
+            run_workload(
+                build, RunConfig(spec=get_system("CGL"), threads=4)
+            )
+
+    def test_check_can_be_disabled(self):
+        stats = run_workload(
+            get_workload("ssca2"),
+            RunConfig(
+                spec=get_system("Baseline"),
+                threads=2,
+                scale=0.05,
+                seed=1,
+                check=False,
+            ),
+        )
+        assert stats.sanity_failures == []
+
+    def test_deterministic_across_runs(self):
+        cfg = RunConfig(
+            spec=get_system("LockillerTM"), threads=4, scale=0.08, seed=12
+        )
+        a = run_workload(get_workload("intruder"), cfg)
+        b = run_workload(get_workload("intruder"), cfg)
+        assert a.execution_cycles == b.execution_cycles
+        assert a.time_breakdown() == b.time_breakdown()
+        assert a.abort_breakdown() == b.abort_breakdown()
+
+    def test_seed_changes_outcome(self):
+        mk = lambda seed: run_workload(
+            get_workload("intruder"),
+            RunConfig(
+                spec=get_system("Baseline"), threads=4, scale=0.08, seed=seed
+            ),
+        )
+        assert mk(1).execution_cycles != mk(2).execution_cycles
+
+    def test_default_params_are_table1(self):
+        cfg = RunConfig(spec=get_system("CGL"))
+        assert cfg.params == typical_params()

@@ -1,0 +1,93 @@
+"""Tests for the generic sweep driver."""
+
+import pytest
+
+from repro.harness.sweeps import (
+    Sweep,
+    SweepPoint,
+    small_vs_typical_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    sweep = Sweep(
+        workloads=("kmeans+", "ssca2"),
+        systems=("CGL", "Baseline", "LockillerTM"),
+        threads=(2,),
+        seeds=(1,),
+        scale=0.05,
+    )
+    return sweep.run()
+
+
+class TestSweepDefinition:
+    def test_size(self):
+        sweep = Sweep(
+            workloads=("a", "b"),
+            systems=("x",),
+            threads=(2, 4),
+            seeds=(1, 2, 3),
+        )
+        assert sweep.size() == 12
+        assert len(list(sweep.points())) == 12
+
+    def test_point_label(self):
+        p = SweepPoint("kmeans+", "CGL", 4, 7)
+        assert "kmeans+" in p.label() and "t4" in p.label()
+
+    def test_progress_callback(self):
+        seen = []
+        sweep = Sweep(
+            workloads=("ssca2",),
+            systems=("CGL",),
+            threads=(2,),
+            seeds=(1,),
+            scale=0.05,
+        )
+        sweep.run(progress=lambda p, i, n: seen.append((i, n)))
+        assert seen == [(1, 1)]
+
+
+class TestSweepResults:
+    def test_all_points_present(self, results):
+        assert len(results) == 6
+
+    def test_filter(self, results):
+        only = results.filter(system="CGL")
+        assert len(only) == 2
+        assert all(r.point.system == "CGL" for r in only.records)
+
+    def test_one(self, results):
+        r = results.one(system="CGL", workload="ssca2")
+        assert r.cycles > 0
+
+    def test_one_raises_on_ambiguity(self, results):
+        with pytest.raises(KeyError):
+            results.one(system="CGL")
+
+    def test_speedups_vs_cgl(self, results):
+        speedups = results.speedups_vs("CGL")
+        # 2 workloads x 2 non-CGL systems.
+        assert len(speedups) == 4
+        assert all(v > 0 for v in speedups.values())
+        # ssca2 on any HTM flavour beats CGL even at tiny scale.
+        ssca_pts = {
+            p: v for p, v in speedups.items() if p.workload == "ssca2"
+        }
+        assert all(v > 1.0 for v in ssca_pts.values())
+
+    def test_pivot(self, results):
+        table = results.pivot(lambda r: r.commit_rate)
+        assert set(table) == {"CGL", "Baseline", "LockillerTM"}
+        assert all(2 in row for row in table.values())
+        assert table["CGL"][2] == pytest.approx(1.0)
+
+
+class TestConvenience:
+    def test_small_vs_typical_sweep_tags(self):
+        sweep = small_vs_typical_sweep(("ssca2",), ("CGL",), scale=0.05)
+        tags = {p.params_tag for p in sweep.points()}
+        assert tags == {"typical", "small"}
+        res = sweep.run()
+        assert len(res) == 2

@@ -1,0 +1,113 @@
+"""Unit tests for the 2-D mesh topology and X-Y routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.params import NetworkParams
+from repro.interconnect.topology import MeshTopology
+
+
+@pytest.fixture
+def mesh() -> MeshTopology:
+    return MeshTopology(NetworkParams())  # 4x8, Table I
+
+
+class TestGeometry:
+    def test_num_tiles(self, mesh):
+        assert mesh.num_tiles == 32
+
+    def test_coords_row_major(self, mesh):
+        assert mesh.coords(0) == (0, 0)
+        assert mesh.coords(3) == (3, 0)
+        assert mesh.coords(4) == (0, 1)
+        assert mesh.coords(31) == (3, 7)
+
+    def test_tile_at_inverts_coords(self, mesh):
+        for tile in range(mesh.num_tiles):
+            x, y = mesh.coords(tile)
+            assert mesh.tile_at(x, y) == tile
+
+    def test_tile_at_out_of_range(self, mesh):
+        with pytest.raises(ConfigError):
+            mesh.tile_at(4, 0)
+        with pytest.raises(ConfigError):
+            mesh.tile_at(0, 8)
+
+    def test_coords_out_of_range(self, mesh):
+        with pytest.raises(ConfigError):
+            mesh.coords(32)
+
+    def test_rejects_degenerate_mesh(self):
+        with pytest.raises(ConfigError):
+            MeshTopology(NetworkParams(mesh_cols=0, mesh_rows=4))
+
+
+class TestHops:
+    def test_self_distance_zero(self, mesh):
+        for tile in range(32):
+            assert mesh.hops(tile, tile) == 0
+
+    def test_manhattan_examples(self, mesh):
+        assert mesh.hops(0, 3) == 3      # same row
+        assert mesh.hops(0, 28) == 7     # same column
+        assert mesh.hops(0, 31) == 10    # corner to corner
+
+    def test_symmetry(self, mesh):
+        for a in range(0, 32, 5):
+            for b in range(0, 32, 3):
+                assert mesh.hops(a, b) == mesh.hops(b, a)
+
+    @given(st.integers(0, 31), st.integers(0, 31), st.integers(0, 31))
+    def test_triangle_inequality(self, a, b, c):
+        mesh = MeshTopology(NetworkParams())
+        assert mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c)
+
+
+class TestRoute:
+    def test_route_endpoints(self, mesh):
+        r = mesh.route(0, 31)
+        assert r[0] == 0 and r[-1] == 31
+
+    def test_route_length_equals_hops(self, mesh):
+        for a in range(0, 32, 7):
+            for b in range(0, 32, 5):
+                assert len(mesh.route(a, b)) == mesh.hops(a, b) + 1
+
+    def test_route_goes_x_first(self, mesh):
+        # 0 -> 6: X to column 2, then Y down one row.
+        assert mesh.route(0, 6) == [0, 1, 2, 6]
+
+    def test_route_steps_are_neighbors(self, mesh):
+        r = mesh.route(31, 0)
+        for a, b in zip(r, r[1:]):
+            assert b in set(mesh.neighbors(a))
+
+
+class TestHomeTile:
+    def test_interleaving_covers_all_tiles(self, mesh):
+        homes = {mesh.home_tile(line) for line in range(64)}
+        assert homes == set(range(32))
+
+    def test_home_is_stable(self, mesh):
+        assert mesh.home_tile(12345) == mesh.home_tile(12345)
+
+    def test_home_in_range(self, mesh):
+        for line in (0, 1, 31, 32, 1 << 40):
+            assert 0 <= mesh.home_tile(line) < 32
+
+
+class TestNeighbors:
+    def test_corner_has_two(self, mesh):
+        assert len(list(mesh.neighbors(0))) == 2
+
+    def test_edge_has_three(self, mesh):
+        assert len(list(mesh.neighbors(1))) == 3
+
+    def test_interior_has_four(self, mesh):
+        assert len(list(mesh.neighbors(5))) == 4
+
+    def test_neighbors_at_distance_one(self, mesh):
+        for t in range(32):
+            for n in mesh.neighbors(t):
+                assert mesh.hops(t, n) == 1

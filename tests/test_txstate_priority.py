@@ -1,0 +1,146 @@
+"""Unit tests for TxState lifecycle and the priority providers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policies import PriorityKind
+from repro.core.priority import (
+    InstsBasedPriority,
+    NoPriority,
+    ProgressionPriority,
+    make_priority_provider,
+)
+from repro.htm.txstate import LOCK_PRIORITY, TxMode, TxState
+
+
+class TestTxModes:
+    def test_speculative_flags(self):
+        assert TxMode.HTM.is_speculative
+        assert not TxMode.TL.is_speculative
+
+    def test_lock_mode_flags(self):
+        assert TxMode.TL.is_lock_mode
+        assert TxMode.STL.is_lock_mode
+        assert not TxMode.HTM.is_lock_mode
+        assert not TxMode.FALLBACK.is_lock_mode
+
+    def test_in_transaction(self):
+        assert TxMode.HTM.in_transaction
+        assert TxMode.FALLBACK.in_transaction
+        assert not TxMode.NONE.in_transaction
+
+
+class TestTxStateLifecycle:
+    def test_begin_resets_state(self):
+        tx = TxState(0)
+        tx.begin(TxMode.HTM, now=100)
+        tx.track_read(1)
+        tx.track_write(2)
+        tx.buffer_store(128, 5)
+        tx.insts_in_attempt = 9
+        seq = tx.attempt_seq
+        tx.clear()
+        tx.begin(TxMode.HTM, now=200)
+        assert tx.attempt_seq == seq + 1
+        assert not tx.read_set and not tx.write_set and not tx.write_buffer
+        assert tx.insts_in_attempt == 0
+        assert tx.attempt_start == 200
+
+    def test_nested_begin_raises(self):
+        tx = TxState(0)
+        tx.begin(TxMode.HTM, 0)
+        with pytest.raises(RuntimeError):
+            tx.begin(TxMode.HTM, 1)
+
+    def test_buffer_store_accumulates(self):
+        tx = TxState(0)
+        tx.begin(TxMode.HTM, 0)
+        tx.buffer_store(64, 2)
+        tx.buffer_store(64, 3)
+        assert tx.write_buffer[64] == 5
+
+    def test_switch_to_stl(self):
+        tx = TxState(0)
+        tx.begin(TxMode.HTM, 0)
+        tx.track_write(5)
+        tx.switch_to_stl()
+        assert tx.mode is TxMode.STL
+        assert tx.switched
+        assert 5 in tx.write_set  # state carried over
+
+    def test_switch_from_non_htm_raises(self):
+        tx = TxState(0)
+        tx.begin(TxMode.TL, 0)
+        with pytest.raises(RuntimeError):
+            tx.switch_to_stl()
+
+    def test_mark_aborted_keeps_first_reason(self):
+        tx = TxState(0)
+        tx.begin(TxMode.HTM, 0)
+        tx.mark_aborted("first")
+        tx.mark_aborted("second")
+        assert tx.abort_reason == "first"
+
+    def test_footprint(self):
+        tx = TxState(0)
+        tx.begin(TxMode.HTM, 0)
+        tx.track_read(1)
+        tx.track_write(1)
+        tx.track_write(2)
+        assert tx.footprint_lines == 2
+
+
+class TestPriorityProviders:
+    def _tx(self, mode=TxMode.HTM, insts=0, start=0):
+        tx = TxState(3)
+        tx.begin(mode, start)
+        tx.insts_in_attempt = insts
+        return tx
+
+    def test_factory(self):
+        assert isinstance(make_priority_provider(PriorityKind.INSTS), InstsBasedPriority)
+        assert isinstance(
+            make_priority_provider(PriorityKind.PROGRESSION), ProgressionPriority
+        )
+        assert isinstance(make_priority_provider(PriorityKind.NONE), NoPriority)
+
+    def test_insts_priority_counts_work(self):
+        p = InstsBasedPriority()
+        assert p.priority_of(self._tx(insts=17), now=100) == 17
+
+    def test_progression_counts_time(self):
+        p = ProgressionPriority()
+        assert p.priority_of(self._tx(start=40), now=100) == 60
+
+    def test_no_priority_flat(self):
+        p = NoPriority()
+        assert p.priority_of(self._tx(insts=50), now=10) == 0
+
+    def test_lock_mode_outranks_everything(self):
+        for provider in (NoPriority(), InstsBasedPriority(), ProgressionPriority()):
+            tl = self._tx(mode=TxMode.TL)
+            assert provider.priority_of(tl, now=10**9) == LOCK_PRIORITY
+            assert provider.priority_of(tl, 0) > provider.priority_of(
+                self._tx(insts=10**9), 0
+            )
+
+    def test_beats_higher_priority(self):
+        assert InstsBasedPriority.beats(5, 3, 4, 0)
+        assert not InstsBasedPriority.beats(4, 0, 5, 3)
+
+    def test_beats_tie_smaller_id(self):
+        assert InstsBasedPriority.beats(5, 1, 5, 2)
+        assert not InstsBasedPriority.beats(5, 2, 5, 1)
+
+    @given(
+        st.integers(0, 100), st.integers(0, 31),
+        st.integers(0, 100), st.integers(0, 31),
+    )
+    def test_beats_is_total_and_antisymmetric(self, pa, ca, pb, cb):
+        a_beats_b = InstsBasedPriority.beats(pa, ca, pb, cb)
+        b_beats_a = InstsBasedPriority.beats(pb, cb, pa, ca)
+        if (pa, ca) == (pb, cb):
+            # Identical (priority, id) pairs mean the same core.
+            assert not a_beats_b and not b_beats_a
+        else:
+            assert a_beats_b != b_beats_a

@@ -1,0 +1,197 @@
+"""Tests for the STAMP-like workload generators."""
+
+import pytest
+
+from repro.htm.isa import OP_FAULT, OP_LOAD, OP_STORE, Plain, Txn, program_stats
+from repro.workloads.base import (
+    PRIVATE_BASE,
+    SHARED_BASE,
+    expected_final_memory,
+    private_line_addr,
+    shared_line_addr,
+)
+from repro.workloads.registry import (
+    HIGH_CONTENTION,
+    PAPER_ORDER,
+    WORKLOADS,
+    get_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_paper_selection_present(self):
+        assert set(PAPER_ORDER) <= set(WORKLOADS)
+        # bayes is implemented but excluded from the paper sweep (§IV-A).
+        assert "bayes" in WORKLOADS
+        assert "bayes" not in PAPER_ORDER
+
+    def test_both_contention_variants(self):
+        assert {"kmeans+", "kmeans-", "vacation+", "vacation-"} <= set(WORKLOADS)
+
+    def test_get_workload_unknown(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            get_workload("quake")
+
+    def test_high_contention_subset(self):
+        assert set(HIGH_CONTENTION) <= set(WORKLOADS)
+
+    def test_names_ordered(self):
+        assert workload_names() == PAPER_ORDER
+
+
+class TestAddressing:
+    def test_shared_lines_disjoint_from_private(self):
+        assert shared_line_addr(10**5) < PRIVATE_BASE
+        assert private_line_addr(0, 0) >= PRIVATE_BASE
+
+    def test_private_regions_disjoint_across_threads(self):
+        hi0 = private_line_addr(0, 10**4)
+        lo1 = private_line_addr(1, 0)
+        assert hi0 < lo1
+
+    def test_line_granularity(self):
+        assert shared_line_addr(1) - shared_line_addr(0) == 64
+
+
+class TestExpectedMemory:
+    def test_sums_additive_stores(self):
+        progs = [
+            [Txn([(OP_STORE, 100, 2), (OP_STORE, 200, 3)])],
+            [Plain([(OP_STORE, 100, 5)])],
+        ]
+        exp = expected_final_memory(progs)
+        assert exp == {100: 7, 200: 3}
+
+    def test_zero_deltas_dropped(self):
+        progs = [[Txn([(OP_STORE, 100, 1), (OP_STORE, 100, -1)])]]
+        assert expected_final_memory(progs) == {}
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+class TestEachWorkload:
+    def test_build_shape(self, name):
+        wl = get_workload(name)
+        build = wl.build(threads=3, scale=0.1, seed=1)
+        assert len(build.programs) == 3
+        assert build.name == name
+        for prog in build.programs:
+            s = program_stats(prog)
+            assert s["txns"] >= 1
+            assert s["stores"] >= 1
+
+    def test_deterministic(self, name):
+        wl = get_workload(name)
+        a = wl.build(threads=2, scale=0.1, seed=9)
+        b = wl.build(threads=2, scale=0.1, seed=9)
+        for pa, pb in zip(a.programs, b.programs):
+            assert [s.ops for s in pa] == [s.ops for s in pb]
+        assert a.expected == b.expected
+
+    def test_seed_changes_programs(self, name):
+        wl = get_workload(name)
+        a = wl.build(threads=2, scale=0.1, seed=1)
+        b = wl.build(threads=2, scale=0.1, seed=2)
+        assert any(
+            [s.ops for s in pa] != [s.ops for s in pb]
+            for pa, pb in zip(a.programs, b.programs)
+        )
+
+    def test_scale_controls_size(self, name):
+        wl = get_workload(name)
+        small = wl.build(threads=1, scale=0.1, seed=1)
+        big = wl.build(threads=1, scale=0.5, seed=1)
+        n_small = program_stats(small.programs[0])["txns"]
+        n_big = program_stats(big.programs[0])["txns"]
+        assert n_big > n_small
+
+    def test_expected_memory_consistent(self, name):
+        wl = get_workload(name)
+        build = wl.build(threads=2, scale=0.1, seed=3)
+        assert build.expected == expected_final_memory(build.programs)
+
+    def test_rejects_bad_args(self, name):
+        wl = get_workload(name)
+        with pytest.raises(ValueError):
+            wl.build(threads=0)
+        with pytest.raises(ValueError):
+            wl.build(threads=1, scale=0)
+
+    def test_verify_detects_mismatch(self, name):
+        wl = get_workload(name)
+        build = wl.build(threads=1, scale=0.1, seed=1)
+        wrong = dict(build.expected)
+        some_addr = next(iter(wrong))
+        wrong[some_addr] += 1
+        assert build.verify(wrong)
+        assert build.verify(dict(build.expected)) == []
+
+
+class TestWorkloadProfiles:
+    """Structural properties the paper's per-workload behaviour relies on."""
+
+    def _mean_tx_ops(self, name):
+        build = get_workload(name).build(threads=2, scale=0.3, seed=4)
+        return program_stats(build.programs[0])["mean_tx_ops"]
+
+    def test_labyrinth_txs_are_huge(self):
+        assert self._mean_tx_ops("labyrinth") > 200
+
+    def test_ssca2_txs_are_tiny(self):
+        assert self._mean_tx_ops("ssca2") < 15
+
+    def test_labyrinth_overflows_typical_l1(self):
+        build = get_workload("labyrinth").build(threads=1, scale=0.2, seed=4)
+        txns = [s for s in build.programs[0] if isinstance(s, Txn)]
+        # Footprint far beyond 128 sets * 4 ways worst-case per-set load.
+        footprints = [len(t.read_lines() | t.write_lines()) for t in txns]
+        assert min(footprints) > 250
+
+    def test_yada_has_many_faults(self):
+        build = get_workload("yada").build(threads=4, scale=1.0, seed=4)
+        txns = [s for p in build.programs for s in p if isinstance(s, Txn)]
+        faulting = sum(
+            any(op[0] == OP_FAULT for op in t.ops) for t in txns
+        )
+        assert faulting / len(txns) > 0.8
+
+    def test_other_workloads_fault_free(self):
+        for name in ("genome", "intruder", "kmeans+", "ssca2", "vacation-"):
+            build = get_workload(name).build(threads=2, scale=0.2, seed=4)
+            ops = [op for p in build.programs for s in p for op in s.ops]
+            assert not any(op[0] == OP_FAULT for op in ops), name
+
+    def test_intruder_has_hot_queue_line(self):
+        build = get_workload("intruder").build(threads=4, scale=0.3, seed=4)
+        head = shared_line_addr(0)
+        writers = 0
+        for prog in build.programs:
+            for seg in prog:
+                if isinstance(seg, Txn) and any(
+                    op[0] == OP_STORE and op[1] == head for op in seg.ops
+                ):
+                    writers += 1
+        # Every iteration pops the queue: one pop txn per iteration.
+        assert writers >= 4 * 20
+
+    def test_kmeans_contention_ordering(self):
+        """kmeans+ concentrates updates on fewer centers than kmeans-."""
+        from repro.workloads.kmeans import KMeansHighWorkload, KMeansLowWorkload
+
+        assert KMeansHighWorkload.clusters < KMeansLowWorkload.clusters
+
+    def test_vacation_contention_ordering(self):
+        from repro.workloads.vacation import (
+            VacationHighWorkload,
+            VacationLowWorkload,
+        )
+
+        assert VacationHighWorkload.table_lines < VacationLowWorkload.table_lines
+        assert VacationHighWorkload.n_writes > VacationLowWorkload.n_writes
+
+    def test_metadata_summaries(self):
+        for name, wl in WORKLOADS.items():
+            assert wl.metadata()["name"] == name
+            assert wl.summary
