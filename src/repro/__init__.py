@@ -22,9 +22,11 @@ from repro.common.params import (
     small_cache_params,
     typical_params,
 )
+from repro.common.errors import LivelockError, RunTimeoutError
 from repro.common.stats import AbortReason, RunStats, TimeCat
 from repro.core.policies import PriorityKind, RequesterPolicy, SystemSpec
 from repro.harness.systems import SYSTEMS, get_system, system_names
+from repro.resilience import FaultPlan, WatchdogConfig, get_plan, plan_names
 from repro.sim.machine import Machine
 from repro.sim.runner import RunConfig, run_workload
 from repro.workloads.registry import WORKLOADS, get_workload, workload_names
@@ -33,18 +35,24 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AbortReason",
+    "FaultPlan",
+    "LivelockError",
     "Machine",
     "PriorityKind",
     "RequesterPolicy",
     "RunConfig",
     "RunStats",
+    "RunTimeoutError",
     "SYSTEMS",
     "SystemParams",
     "SystemSpec",
     "TimeCat",
     "WORKLOADS",
+    "WatchdogConfig",
+    "get_plan",
     "get_system",
     "get_workload",
+    "plan_names",
     "large_cache_params",
     "run_workload",
     "small_cache_params",

@@ -119,6 +119,9 @@ class MemorySystem:
         self.paranoid = False
         self.signature_spills = 0
         self.signature_rejects = 0
+        #: Fault injector (reject storm), wired by the Machine when a
+        #: FaultPlan is armed; None = no injection, zero overhead.
+        self.chaos = None
 
     @staticmethod
     def _unwired_abort(core: int, reason: AbortReason, now: int) -> None:
@@ -438,6 +441,27 @@ class MemorySystem:
         entry = self.directory.entry(line)
         arrive = now + req_lat
         start = arrive if arrive > entry.busy_until else entry.busy_until
+
+        # -- Fault injection: adversarial reject storm -------------------
+        # The directory NACKs the speculative request outright, exactly
+        # as if a higher-priority holder had won; the requester's policy
+        # machinery (SelfAbort / RetryLater / WaitWakeup) must absorb it.
+        if (
+            self.chaos is not None
+            and tx.mode is TxMode.HTM
+            and len(self.core_stats) > 1
+            and self.chaos.storm_reject()
+        ):
+            entry.busy_until = start + p.llc.hit_latency
+            back = self.network.control_latency(home, my_tile)
+            stats.rejects_received += 1
+            phantom = (core + 1) % len(self.core_stats)
+            self.core_stats[phantom].rejects_issued += 1
+            return AccessResult(
+                REJECT,
+                (start - now) + p.llc.hit_latency + back,
+                reject_holder=phantom,
+            )
 
         holders = self._collect_holders(core, line, is_write, now)
         req = RequesterInfo(

@@ -6,6 +6,9 @@ user errors (bad configuration) so tests can assert on the right class.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Dict, List
+
 
 class ReproError(Exception):
     """Base class for every error raised by this package."""
@@ -25,3 +28,86 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """No runnable events remain but cores have not finished."""
+
+
+class EventBudgetError(SimulationError):
+    """The engine processed more events than its configured budget.
+
+    A blunt livelock guard: the event count keeps growing but the modeled
+    system is (probably) not making forward progress.  The machine layer
+    converts this into a structured :class:`LivelockError` carrying
+    per-core diagnostics; the raw form only escapes from bare-engine use.
+    """
+
+    def __init__(self, max_events: int, now: int) -> None:
+        self.max_events = max_events
+        self.now = now
+        super().__init__(
+            f"event budget exceeded ({max_events}) at t={now}; "
+            "likely a livelock in the modeled system"
+        )
+
+
+class RunTimeoutError(ReproError):
+    """A harness-level wall-clock timeout expired around one run."""
+
+
+@dataclass(frozen=True)
+class CoreDiagnostic:
+    """Per-core forward-progress snapshot attached to a LivelockError."""
+
+    core: int
+    mode: str          #: transaction flag (NONE/HTM/TL/STL/FALLBACK)
+    aborted: bool
+    done: bool
+    parked: bool       #: waiting on a wake-up message
+    retries_left: int
+    attempts: int      #: aborted attempts of the current transaction
+    priority: int      #: live user-defined priority (ARUSER)
+    commits: int
+
+    def render(self) -> str:
+        flags = []
+        if self.done:
+            flags.append("done")
+        if self.aborted:
+            flags.append("aborted")
+        if self.parked:
+            flags.append("parked")
+        suffix = f" [{','.join(flags)}]" if flags else ""
+        return (
+            f"core {self.core}: mode={self.mode} commits={self.commits} "
+            f"retries_left={self.retries_left} attempts={self.attempts} "
+            f"priority={self.priority}{suffix}"
+        )
+
+
+class LivelockError(SimulationError):
+    """Forward progress stopped while events kept firing.
+
+    Raised by the machine's watchdog (no commit progress within the
+    configured stall horizon) or when the raw event budget trips.  Unlike
+    the opaque budget message it carries everything needed to debug and
+    replay the stall: per-core diagnostics, the simulated time, the
+    pending event count, and the exact replay coordinates of the run.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        now: int,
+        cores: List[CoreDiagnostic],
+        replay: Dict[str, object],
+        pending_events: int = 0,
+    ) -> None:
+        self.reason = reason
+        self.now = now
+        self.cores = list(cores)
+        self.replay = dict(replay)
+        self.pending_events = pending_events
+        lines = [
+            f"{reason} (t={now}, pending_events={pending_events})",
+            f"replay: {self.replay}",
+        ]
+        lines.extend("  " + d.render() for d in self.cores)
+        super().__init__("\n".join(lines))

@@ -11,6 +11,8 @@ the irrevocable lock transaction depends on.
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from repro.common.errors import ConfigError
 
 
@@ -28,7 +30,7 @@ class BloomSignature:
     ``k`` index functions come from double hashing of a 64-bit mix.
     """
 
-    __slots__ = ("bits", "hashes", "_field", "inserted", "_seed")
+    __slots__ = ("bits", "hashes", "_field", "inserted", "_seed", "chaos_fp")
 
     def __init__(self, bits: int = 2048, hashes: int = 4, seed: int = 0) -> None:
         if bits <= 0 or bits & (bits - 1):
@@ -40,6 +42,10 @@ class BloomSignature:
         self._field = 0
         self.inserted = 0
         self._seed = seed
+        #: Fault-injection hook: () -> bool, True forces a spurious
+        #: membership hit.  Safe by construction — Bloom signatures are
+        #: conservative, so extra false positives only cost retries.
+        self.chaos_fp: Optional[Callable[[], bool]] = None
 
     def _indices(self, line: int):
         h = _mix64(line ^ (self._seed * 0x9E3779B97F4A7C15))
@@ -57,7 +63,11 @@ class BloomSignature:
     def test(self, line: int) -> bool:
         for idx in self._indices(line):
             if not (self._field >> idx) & 1:
-                return False
+                return (
+                    self.chaos_fp is not None
+                    and not self.empty
+                    and self.chaos_fp()
+                )
         return True
 
     def clear(self) -> None:

@@ -11,7 +11,7 @@ aborted and moved on) is ignored by the receiver.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -24,12 +24,17 @@ class Waiter:
 class WakeupTable:
     """Per-holder lists of parked requesters."""
 
-    __slots__ = ("_table", "registered", "drained")
+    __slots__ = ("_table", "registered", "drained", "chaos_drop", "dropped")
 
     def __init__(self) -> None:
         self._table: Dict[int, List[Waiter]] = {}
         self.registered = 0
         self.drained = 0
+        #: Fault-injection hook: () -> bool, True to lose the wake-up
+        #: message for one waiter.  Wired by the Machine when a FaultPlan
+        #: is armed; the stranded waiter must recover via its timeout.
+        self.chaos_drop: Optional[Callable[[], bool]] = None
+        self.dropped = 0
 
     def register(
         self,
@@ -46,8 +51,21 @@ class WakeupTable:
         self.registered += 1
 
     def drain(self, holder: int) -> List[Waiter]:
-        """Remove and return every waiter parked on ``holder``."""
+        """Remove and return every waiter parked on ``holder``.
+
+        Waiters whose wake-up message the fault injector drops are
+        removed from the table but *not* returned: the message was sent
+        and lost, and the waiter is on its own (timeout guard).
+        """
         waiters = self._table.pop(holder, [])
+        if self.chaos_drop is not None and waiters:
+            delivered = []
+            for w in waiters:
+                if self.chaos_drop():
+                    self.dropped += 1
+                else:
+                    delivered.append(w)
+            waiters = delivered
         self.drained += len(waiters)
         return waiters
 

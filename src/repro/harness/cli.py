@@ -9,6 +9,9 @@ Usage::
     python -m repro.harness.cli fig8 | fig9 | fig10 | fig11 | fig12 | fig13
     python -m repro.harness.cli run --workload intruder --system LockillerTM \
         --threads 8 [--scale 0.25] [--seed 42] [--cache small|typical|large]
+    python -m repro.harness.cli fuzz  [--cases 25] [--seed 0] [--paranoid]
+    python -m repro.harness.cli chaos [--cases 25] [--plans jitter,lossy]
+        [--systems ...] [--list-plans]
 
 ``run`` executes a single configuration and prints the full statistics
 (cycles, breakdown, aborts, commit rate) — the building block the
@@ -109,6 +112,32 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--cases", type=int, default=25)
     fuzz_p.add_argument("--seed", type=int, default=0)
     fuzz_p.add_argument("--paranoid", action="store_true")
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="chaos-mode fuzzing: the functional oracle under fault plans",
+    )
+    chaos_p.add_argument("--cases", type=int, default=25)
+    chaos_p.add_argument("--seed", type=int, default=0)
+    chaos_p.add_argument(
+        "--plans",
+        type=str,
+        default=None,
+        help="comma-separated fault-plan names (default: the standard "
+        "jitter+lossy+chaos-monkey campaign)",
+    )
+    chaos_p.add_argument(
+        "--systems",
+        type=str,
+        default=None,
+        help="comma-separated system names (default: all Table-II systems)",
+    )
+    chaos_p.add_argument("--paranoid", action="store_true")
+    chaos_p.add_argument(
+        "--list-plans",
+        action="store_true",
+        help="print the available fault plans and exit",
+    )
     return parser
 
 
@@ -227,6 +256,33 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         report = run_fuzz(
             cases=args.cases, seed=args.seed, paranoid=args.paranoid
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+    elif args.command == "chaos":
+        from repro.resilience.faults import get_plan, plan_names
+        from repro.sim.fuzz import DEFAULT_SYSTEMS, run_chaos_fuzz
+
+        if args.list_plans:
+            for name in plan_names():
+                print(f"  {name}: {get_plan(name).describe()}")
+            return 0
+        plans = (
+            [get_plan(n) for n in args.plans.split(",") if n]
+            if args.plans
+            else None
+        )
+        systems = (
+            tuple(s for s in args.systems.split(",") if s)
+            if args.systems
+            else DEFAULT_SYSTEMS
+        )
+        report = run_chaos_fuzz(
+            cases=args.cases,
+            seed=args.seed,
+            systems=systems,
+            paranoid=args.paranoid,
+            plans=plans,
         )
         print(report.render())
         return 0 if report.ok else 1

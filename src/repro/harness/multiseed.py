@@ -84,6 +84,35 @@ def multi_seed_runs(
     ]
 
 
+def multi_seed_runs_resilient(
+    workload: str,
+    system: str,
+    threads: int,
+    seeds: Sequence[int],
+    scale: float = 0.25,
+    params: Optional[SystemParams] = None,
+    retry=None,
+    checkpoint_path: Optional[str] = None,
+):
+    """Crash-tolerant :func:`multi_seed_runs`: each seed runs under a
+    timeout + retry policy, failures are quarantined instead of raising,
+    and a checkpoint file makes the campaign resumable.  Returns
+    ``(runs, quarantined)``; see
+    :func:`repro.resilience.harness.resilient_seed_runs`."""
+    from repro.resilience.harness import resilient_seed_runs
+
+    return resilient_seed_runs(
+        workload,
+        system,
+        threads,
+        seeds,
+        scale=scale,
+        params=params,
+        retry=retry,
+        checkpoint_path=checkpoint_path,
+    )
+
+
 def metric_over_seeds(
     workload: str,
     system: str,

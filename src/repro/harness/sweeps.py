@@ -110,6 +110,28 @@ class Sweep:
                 progress(point, i + 1, total)
         return SweepResults(records)
 
+    def run_resilient(
+        self,
+        checkpoint_path: Optional[str] = None,
+        retry=None,
+        progress: Optional[Callable[[SweepPoint, int, int], None]] = None,
+        fault_plan=None,
+        watchdog=None,
+    ):
+        """Crash-tolerant :meth:`run`: per-cell timeout + retry +
+        quarantine, with optional JSON checkpointing for resume.  See
+        :func:`repro.resilience.harness.run_sweep_resilient`."""
+        from repro.resilience.harness import run_sweep_resilient
+
+        return run_sweep_resilient(
+            self,
+            checkpoint_path=checkpoint_path,
+            retry=retry,
+            progress=progress,
+            fault_plan=fault_plan,
+            watchdog=watchdog,
+        )
+
 
 class SweepResults:
     """Query interface over sweep records."""

@@ -43,6 +43,7 @@ class NetworkModel:
         "clock",
         "_link_busy",
         "link_stalls",
+        "chaos",
     )
 
     def __init__(self, topology: MeshTopology, params: NetworkParams) -> None:
@@ -59,6 +60,9 @@ class NetworkModel:
         self.clock: Optional[Callable[[], int]] = None
         self._link_busy: Dict[Tuple[int, int], int] = {}
         self.link_stalls = 0
+        #: Fault-injection hook (latency -> perturbed latency); wired by
+        #: the Machine when a FaultPlan is armed, else None (no cost).
+        self.chaos: Optional[Callable[[int], int]] = None
 
     def latency(self, src_tile: int, dst_tile: int, msg_class: MessageClass) -> int:
         """Cycles for one message from ``src_tile`` to ``dst_tile``."""
@@ -73,11 +77,15 @@ class NetworkModel:
         self.flits_sent += flits
         self.hops_traversed += hops
         if self.params.model_contention:
-            return self._traverse(src_tile, dst_tile, flits, tail)
-        if hops == 0:
+            lat = self._traverse(src_tile, dst_tile, flits, tail)
+        elif hops == 0:
             # Local delivery still crosses the tile's router once.
-            return self.params.router_latency + tail
-        return hops * self._per_hop + tail
+            lat = self.params.router_latency + tail
+        else:
+            lat = hops * self._per_hop + tail
+        if self.chaos is not None:
+            lat = self.chaos(lat)
+        return lat
 
     def _traverse(
         self, src_tile: int, dst_tile: int, flits: int, tail: int

@@ -1,0 +1,68 @@
+"""Forward-progress watchdog: commit tracking with a stall horizon.
+
+The engine's event budget is a blunt last-resort guard (200M events,
+opaque error).  The watchdog is the structured alternative: the machine
+samples global commit progress every ``check_every`` cycles, and when no
+transaction anywhere has committed for ``horizon`` simulated cycles
+while cores are still unfinished, it raises
+:class:`~repro.common.errors.LivelockError` carrying per-core
+diagnostics (transaction flag, retry budget, priority, parked state) and
+the run's exact replay coordinates.
+
+The watchdog is opt-in (``Machine(..., watchdog=WatchdogConfig(...))``)
+so default runs schedule zero extra events — the zero-overhead-when-off
+contract shared with fault injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import CoreDiagnostic
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Stall-detection parameters for one run.
+
+    ``horizon`` is the commit-progress stall horizon in simulated
+    cycles; it must comfortably exceed the longest legitimate commit gap
+    of the workload (the default clears even pathological wake-up
+    timeout chains).  ``check_every`` is the sampling period; 0 picks
+    ``horizon // 4``.
+    """
+
+    horizon: int = 1_000_000
+    check_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError("watchdog horizon must be positive")
+        if self.check_every < 0:
+            raise ValueError("check_every must be non-negative")
+
+    @property
+    def period(self) -> int:
+        return self.check_every or max(1, self.horizon // 4)
+
+
+def diagnose_machine(machine) -> list:
+    """Snapshot every core's progress state for a LivelockError."""
+    now = machine.engine.now
+    out = []
+    for cpu in machine.cpus:
+        tx = cpu.tx
+        out.append(
+            CoreDiagnostic(
+                core=cpu.core,
+                mode=tx.mode.name,
+                aborted=tx.aborted,
+                done=cpu.done,
+                parked=cpu.is_parked,
+                retries_left=cpu.retries_left,
+                attempts=cpu.attempts_this_txn,
+                priority=machine.memsys.priority_of(cpu.core, now),
+                commits=machine.core_stats[cpu.core].commits,
+            )
+        )
+    return out

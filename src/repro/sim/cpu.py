@@ -56,7 +56,11 @@ class CPU:
         self.retries_left = 0
         self.capacity_retries_left = 0
         self.attempts_this_txn = 0
+        self.rejects_this_txn = 0
         self._attempt_t0 = 0
+        #: Fault injector (repro.resilience.faults.FaultInjector) or
+        #: None; built by the Machine before CPUs are constructed.
+        self._chaos = machine.injector
         #: (attempt_seq, park_seq) while parked on a wake-up, else None.
         self._parked: Optional[Tuple[int, int]] = None
         self._park_seq = 0
@@ -96,6 +100,14 @@ class CPU:
     def _segment_done(self, now: int) -> None:
         self.seg_idx += 1
         self.op_idx = 0
+        if self._chaos is not None:
+            stall = self._chaos.stall()
+            if stall > 0:
+                # Transient core stall (noisy neighbour, DVFS glitch):
+                # billed as plain time, outside any critical section.
+                self._bill(TimeCat.NON_TRAN, stall)
+                self.engine.schedule_after(stall, self._advance)
+                return
         self._advance(now)
 
     # ------------------------------------------------------------------
@@ -159,6 +171,7 @@ class CPU:
         self.retries_left = self.htm_params.max_retries
         self.capacity_retries_left = self.htm_params.capacity_retries
         self.attempts_this_txn = 0
+        self.rejects_this_txn = 0
         self._tx_try(now)
 
     # -- CGL -------------------------------------------------------------
@@ -315,6 +328,31 @@ class CPU:
     def _on_reject(self, now: int, res: AccessResult) -> None:
         if self.tx.mode.is_lock_mode:  # pragma: no cover
             raise SimulationError("lock-mode transaction was rejected")
+        self.rejects_this_txn += 1
+        chaos = self._chaos
+        if chaos is not None:
+            if chaos.escape_exceeded(self.rejects_this_txn):
+                # Bounded-retry escape hatch: too many rejects in this
+                # transaction under fault injection — zero the retry
+                # budget so the abort degrades to the lock fallback.
+                self.retries_left = 0
+                reason = (
+                    AbortReason.CONFLICT_LOCK
+                    if res.reject_by_lock
+                    else AbortReason.CONFLICT_HTM
+                )
+                self.engine.schedule_after(
+                    res.latency, lambda t: self._local_abort(t, reason)
+                )
+                return
+            if chaos.drop_nack():
+                # The NACK was lost in transit: the requester never
+                # learns it was rejected and re-issues the access after
+                # a hardware timeout.
+                self.engine.schedule_after(
+                    res.latency + chaos.plan.nack_loss_delay, self._tx_step
+                )
+                return
         policy = self.spec.requester_policy
         if policy is RequesterPolicy.SELF_ABORT:
             reason = (
@@ -346,6 +384,11 @@ class CPU:
             attempt_seq,
             lambda t: self._unpark(t, park_seq, timeout=False),
         )
+        if (
+            self._chaos is not None
+            and self._chaos.plan.disable_wakeup_timeout
+        ):
+            return  # test-only: strand the waiter if its wake-up is lost
         self.engine.schedule_after(
             self.htm_params.wakeup_timeout,
             lambda t: self._unpark(t, park_seq, timeout=True),
@@ -367,6 +410,11 @@ class CPU:
         if self._parked is not None:
             self._parked = None
             self.engine.schedule_after(1, self._tx_step)
+
+    @property
+    def is_parked(self) -> bool:
+        """True while waiting on a wake-up message (diagnostics)."""
+        return self._parked is not None
 
     # -- overflow / switchingMode (Fig. 6) ---------------------------------
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
-from repro.common.errors import SimulationError
+from repro.common.errors import EventBudgetError, SimulationError
 
 EventFn = Callable[[int], None]
 
@@ -78,15 +78,16 @@ class SimEngine:
             self.now = when
             self.events_processed += 1
             if self.events_processed > self._max_events:
-                raise SimulationError(
-                    f"event budget exceeded ({self._max_events}); "
-                    "likely a livelock in the modeled system"
-                )
+                raise EventBudgetError(self._max_events, self.now)
             fn(when)
         return self.now
 
     def step(self) -> bool:
-        """Process exactly one live event; False when the heap is empty."""
+        """Process exactly one live event; False when the heap is empty.
+
+        Enforces the same event budget as :meth:`run` — a stepped
+        simulation must not be allowed to livelock forever either.
+        """
         heap = self._heap
         while heap:
             when, _, token, fn = heapq.heappop(heap)
@@ -94,6 +95,8 @@ class SimEngine:
                 continue
             self.now = when
             self.events_processed += 1
+            if self.events_processed > self._max_events:
+                raise EventBudgetError(self._max_events, self.now)
             fn(when)
             return True
         return False

@@ -86,10 +86,29 @@ def random_programs(
 
 @dataclass
 class FuzzFailure:
+    """One counterexample with its *complete* replay coordinates.
+
+    ``seed`` is the campaign seed; ``machine_seed`` is the exact seed
+    the failing :class:`Machine` was built with (``seed + case`` — the
+    value :func:`replay_case` needs).  ``plan`` names the fault plan in
+    force, if any.
+    """
+
     case: int
     system: str
     seed: int
     detail: str
+    machine_seed: int = 0
+    plan: Optional[str] = None
+
+    def replay_coords(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "case": self.case,
+            "system": self.system,
+            "machine_seed": self.machine_seed,
+            "plan": self.plan,
+        }
 
 
 @dataclass
@@ -108,10 +127,83 @@ class FuzzReport:
             f"{len(self.failures)} failure(s)"
         ]
         for f in self.failures[:10]:
+            where = f"case {f.case} on {f.system}"
+            if f.plan:
+                where += f" under plan {f.plan}"
             lines.append(
-                f"  case {f.case} on {f.system} (seed {f.seed}): {f.detail}"
+                f"  {where} (machine seed {f.machine_seed}): {f.detail}"
             )
         return "\n".join(lines)
+
+
+def case_programs(seed: int, case: int) -> List[List[Segment]]:
+    """The deterministic programs of fuzz case ``(seed, case)``."""
+    return random_programs(substream(seed, "fuzz", case))
+
+
+def _build_machine(
+    progs: List[List[Segment]],
+    system: str,
+    seed: int,
+    case: int,
+    paranoid: bool,
+    params: Optional[SystemParams],
+    plan,
+    watchdog,
+) -> Machine:
+    machine = Machine(
+        params or fuzz_params(max(4, len(progs))),
+        get_system(system),
+        progs,
+        seed=seed + case,
+        fault_plan=plan,
+        watchdog=watchdog,
+    )
+    machine.replay_info["case"] = case
+    machine.replay_info["campaign_seed"] = seed
+    if paranoid:
+        machine.memsys.paranoid = True
+    return machine
+
+
+def _check_run(machine: Machine, expected, n_txns: int) -> List[str]:
+    """Functional-oracle checks; returns failure details (empty = ok)."""
+    details: List[str] = []
+    got: Dict[int, int] = {
+        a: v for a, v in machine.memsys.memory.items() if v != 0
+    }
+    if got != expected:
+        details.append("memory image mismatch")
+    commits = sum(cs.commits for cs in machine.core_stats)
+    if commits != n_txns:
+        details.append(f"{commits} commits for {n_txns} transactions")
+    problems = machine.memsys.check_quiescent()
+    if problems:
+        details.append("; ".join(problems[:2]))
+    return details
+
+
+def replay_case(
+    seed: int,
+    case: int,
+    system: str,
+    plan=None,
+    paranoid: bool = False,
+    params: Optional[SystemParams] = None,
+    watchdog=None,
+) -> Machine:
+    """Re-run one fuzz case bit-for-bit and return the finished machine.
+
+    Takes the coordinates a :class:`FuzzFailure` records (campaign seed,
+    case, system, plan) and rebuilds the exact same run — same programs,
+    same machine seed, same injection schedule — for debugging.
+    """
+    progs = case_programs(seed, case)
+    machine = _build_machine(
+        progs, system, seed, case, paranoid, params, plan, watchdog
+    )
+    machine.run()
+    return machine
 
 
 def run_fuzz(
@@ -120,52 +212,79 @@ def run_fuzz(
     systems: Sequence[str] = DEFAULT_SYSTEMS,
     paranoid: bool = False,
     params: Optional[SystemParams] = None,
+    plans: Sequence = (None,),
+    watchdog=None,
 ) -> FuzzReport:
+    """Fuzz campaign: ``cases`` random programs x ``systems`` x ``plans``.
+
+    ``plans`` is a sequence of fault plans (``None`` = clean run); the
+    functional oracle must hold under every one of them.
+    """
     report = FuzzReport(cases=cases, runs=0)
     for case in range(cases):
-        rng = substream(seed, "fuzz", case)
-        progs = random_programs(rng)
+        progs = case_programs(seed, case)
         expected = expected_final_memory(progs)
-        n_txns = sum(
-            1 for p in progs for s in p if isinstance(s, Txn)
-        )
+        n_txns = sum(1 for p in progs for s in p if isinstance(s, Txn))
         for system in systems:
-            report.runs += 1
-            try:
-                machine = Machine(
-                    params or fuzz_params(max(4, len(progs))),
-                    get_system(system),
-                    progs,
-                    seed=seed + case,
-                )
-                if paranoid:
-                    machine.memsys.paranoid = True
-                machine.run()
-            except Exception as exc:  # noqa: BLE001 - report, don't crash
-                report.failures.append(
-                    FuzzFailure(case, system, seed, f"crash: {exc!r}")
-                )
-                continue
-            got: Dict[int, int] = {
-                a: v for a, v in machine.memsys.memory.items() if v != 0
-            }
-            if got != expected:
-                report.failures.append(
-                    FuzzFailure(case, system, seed, "memory image mismatch")
-                )
-            commits = sum(cs.commits for cs in machine.core_stats)
-            if commits != n_txns:
-                report.failures.append(
-                    FuzzFailure(
-                        case,
-                        system,
-                        seed,
-                        f"{commits} commits for {n_txns} transactions",
+            for plan in plans:
+                plan_name = plan.name if plan is not None else None
+                report.runs += 1
+
+                def fail(detail: str) -> None:
+                    report.failures.append(
+                        FuzzFailure(
+                            case,
+                            system,
+                            seed,
+                            detail,
+                            machine_seed=seed + case,
+                            plan=plan_name,
+                        )
                     )
-                )
-            problems = machine.memsys.check_quiescent()
-            if problems:
-                report.failures.append(
-                    FuzzFailure(case, system, seed, "; ".join(problems[:2]))
-                )
+
+                try:
+                    machine = _build_machine(
+                        progs, system, seed, case, paranoid, params,
+                        plan, watchdog,
+                    )
+                    machine.run()
+                except Exception as exc:  # noqa: BLE001 - report, don't crash
+                    fail(f"crash: {exc!r}")
+                    continue
+                for detail in _check_run(machine, expected, n_txns):
+                    fail(detail)
     return report
+
+
+def run_chaos_fuzz(
+    cases: int = 25,
+    seed: int = 0,
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    paranoid: bool = False,
+    params: Optional[SystemParams] = None,
+    plans: Optional[Sequence] = None,
+    watchdog=None,
+) -> FuzzReport:
+    """Chaos mode: the fuzz oracle under the default fault campaign.
+
+    Every run is armed with a fault plan and the forward-progress
+    watchdog, so a genuine livelock surfaces as a structured
+    :class:`~repro.common.errors.LivelockError` crash failure rather
+    than a hung process.
+    """
+    from repro.resilience.faults import default_campaign
+    from repro.resilience.watchdog import WatchdogConfig
+
+    if plans is None:
+        plans = default_campaign()
+    if watchdog is None:
+        watchdog = WatchdogConfig(horizon=2_000_000)
+    return run_fuzz(
+        cases=cases,
+        seed=seed,
+        systems=systems,
+        paranoid=paranoid,
+        params=params,
+        plans=plans,
+        watchdog=watchdog,
+    )

@@ -8,11 +8,13 @@ fallback), and wake-up delivery for the recovery mechanism.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.common.errors import (
     ConfigError,
     DeadlockError,
+    EventBudgetError,
+    LivelockError,
     SimulationError,
 )
 from repro.common.params import SystemParams
@@ -42,6 +44,8 @@ class Machine:
         spec: SystemSpec,
         programs: List[list],
         seed: int = 0,
+        fault_plan=None,
+        watchdog=None,
     ) -> None:
         if len(programs) > params.num_cores:
             raise ConfigError(
@@ -50,6 +54,16 @@ class Machine:
         self.params = params
         self.spec = spec
         self.seed = seed
+        #: Forward-progress watchdog config (repro.resilience.watchdog.
+        #: WatchdogConfig or None); armed in run().
+        self.watchdog = watchdog
+        #: Replay coordinates carried on structured errors; harnesses
+        #: (fuzz, sweeps) add their own keys (case, workload, ...).
+        self.replay_info: Dict[str, object] = {
+            "seed": seed,
+            "system": spec.name,
+            "fault_plan": fault_plan.name if fault_plan is not None else None,
+        }
         self.engine = SimEngine()
         self.topology = MeshTopology(params.network)
         self.network = NetworkModel(self.topology, params.network)
@@ -82,6 +96,14 @@ class Machine:
         #: paper compares "coarse-grained locking with the same
         #: granularity of transactions".
         self.global_lock = self.fallback_lock
+
+        #: Deterministic fault injector (repro.resilience.faults); None
+        #: when no plan — or an *empty* plan — is armed, so default runs
+        #: pay nothing and time identically.
+        self.injector = None
+        if fault_plan is not None and not fault_plan.empty:
+            self.injector = fault_plan.injector(seed)
+            self.injector.wire(self)
 
         self.cpus: List[CPU] = [
             CPU(i, self.tile_of_core(i), self, prog, seed)
@@ -149,11 +171,53 @@ class Machine:
     def all_done(self) -> bool:
         return self._finished == len(self.cpus)
 
+    # ------------------------------------------------------------------
+    # Forward-progress watchdog (repro.resilience.watchdog)
+    # ------------------------------------------------------------------
+
+    def diagnose(self) -> list:
+        """Per-core progress snapshot (for LivelockError and debugging)."""
+        from repro.resilience.watchdog import diagnose_machine
+
+        return diagnose_machine(self)
+
+    def _livelock(self, reason: str) -> LivelockError:
+        return LivelockError(
+            reason,
+            now=self.engine.now,
+            cores=self.diagnose(),
+            replay=self.replay_info,
+            pending_events=self.engine.pending(),
+        )
+
+    def _watchdog_tick(self, now: int) -> None:
+        if self.all_done:
+            return  # stop rescheduling; let the heap drain
+        commits = sum(cs.commits for cs in self.core_stats)
+        if commits > self._wd_commits:
+            self._wd_commits = commits
+            self._wd_stall_t0 = now
+        elif now - self._wd_stall_t0 >= self.watchdog.horizon:
+            raise self._livelock(
+                f"no commit progress for {now - self._wd_stall_t0} cycles "
+                f"(stall horizon {self.watchdog.horizon})"
+            )
+        self.engine.schedule_after(self.watchdog.period, self._watchdog_tick)
+
     def run(self, max_cycles: Optional[int] = None) -> int:
         """Execute to completion; returns total execution cycles."""
         for cpu in self.cpus:
             cpu.start()
-        self.engine.run(until=max_cycles)
+        if self.watchdog is not None:
+            self._wd_commits = -1
+            self._wd_stall_t0 = 0
+            self.engine.schedule(self.watchdog.period, self._watchdog_tick)
+        try:
+            self.engine.run(until=max_cycles)
+        except EventBudgetError as exc:
+            raise self._livelock(
+                f"event budget exceeded ({exc.max_events} events)"
+            ) from exc
         if not self.all_done:
             stuck = [c.core for c in self.cpus if not c.done]
             raise DeadlockError(

@@ -30,6 +30,11 @@ class RunConfig:
     params: SystemParams = field(default_factory=typical_params)
     check: bool = True
     max_cycles: Optional[int] = None
+    #: Optional resilience knobs (repro.resilience): a FaultPlan to arm
+    #: deterministic fault injection and/or a WatchdogConfig for the
+    #: forward-progress watchdog.  Both default off (zero overhead).
+    fault_plan: Optional[object] = None
+    watchdog: Optional[object] = None
 
 
 def run_workload(
@@ -47,7 +52,12 @@ def run_workload(
     else:
         build = workload.build(config.threads, config.scale, config.seed)
     machine = Machine(
-        config.params, config.spec, build.programs, seed=config.seed
+        config.params,
+        config.spec,
+        build.programs,
+        seed=config.seed,
+        fault_plan=config.fault_plan,
+        watchdog=config.watchdog,
     )
     cycles = machine.run(max_cycles=config.max_cycles)
     stats = RunStats(execution_cycles=cycles, cores=machine.core_stats)
