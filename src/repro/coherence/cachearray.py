@@ -63,6 +63,24 @@ class CacheArray:
     def contains(self, line: int) -> bool:
         return line in self._state
 
+    def hit_state(self, line: int, is_write: bool) -> int:
+        """Combined probe + LRU touch for the access fast path.
+
+        Returns the line's state when this access hits with sufficient
+        permission (refreshing its LRU position), and ``MESI.I``
+        otherwise — absent lines and write-to-S upgrades both take the
+        miss path *without* an LRU refresh, exactly like the separate
+        ``probe``/``touch`` sequence they replace.
+        """
+        st = self._state.get(line, MESI.I)
+        if st == MESI.I or (is_write and st == MESI.S):
+            return MESI.I
+        s = self._sets[line % self._num_sets]
+        if s[-1] != line:
+            s.remove(line)
+            s.append(line)
+        return st
+
     def touch(self, line: int) -> None:
         """Refresh LRU position after a hit."""
         if line not in self._state:

@@ -41,6 +41,9 @@ GRANT = 0
 REJECT = 1
 OVERFLOW = 2
 
+#: Modes whose accesses are tracked in read/write sets (hot-path const).
+_TRACK_MODES = (TxMode.HTM, TxMode.TL, TxMode.STL)
+
 
 class AccessResult:
     __slots__ = (
@@ -94,6 +97,9 @@ class MemorySystem:
             else None
         )
         self.llc = CacheArray(params.llc)
+        #: Hot-path constant: the L1 hit latency, lifted out of the
+        #: nested frozen-dataclass attribute chain.
+        self._l1_hit_latency = params.l1.hit_latency
         self.directory = Directory()
         #: Committed functional memory image (word address -> value).
         self.memory: Dict[int, int] = {}
@@ -287,6 +293,10 @@ class MemorySystem:
         if not tx.mode.in_transaction or tx.mode is TxMode.FALLBACK:
             return None
         rs, ws = tx.read_set, tx.write_set
+        if not rs and not ws:
+            # Nothing tracked yet: an always-false predicate selects the
+            # same LRU victim as no predicate, without the closure.
+            return None
         return lambda line: line in rs or line in ws
 
     def _collect_holders(
@@ -359,22 +369,21 @@ class MemorySystem:
         line = addr >> 6
         tx = self.tx_states[core]
         l1 = self.l1s[core]
-        p = self.params
         stats = self.core_stats[core]
-        st = l1.probe(line)
 
         # -- L1 hit with sufficient permission --------------------------
-        if st != MESI.I and (not is_write or st in (MESI.E, MESI.M)):
-            l1.touch(line)
+        st = l1.hit_state(line, is_write)
+        if st != MESI.I:
             if is_write and st == MESI.E:
                 l1.set_state(line, MESI.M)  # silent E->M upgrade
                 if self.l2s is not None:
                     self.l2s[core].insert(line, MESI.M)  # keep inclusion
             stats.l1_hits += 1
-            if tx.mode in (TxMode.HTM, TxMode.TL, TxMode.STL):
+            if tx.mode in _TRACK_MODES:
                 self._track(core, line, is_write, tx)
-            return AccessResult(GRANT, p.l1.hit_latency, hit=True)
+            return AccessResult(GRANT, self._l1_hit_latency, hit=True)
 
+        p = self.params
         stats.l1_misses += 1
 
         # -- Private middle cache (MESI-Three-Level-HTM mode) ------------
@@ -393,7 +402,7 @@ class MemorySystem:
                 # (the copy remains in the inclusive middle cache).
                 l1.insert(line, new_state, pinned=None)
                 stats.l2_hits += 1
-                if tx.mode in (TxMode.HTM, TxMode.TL, TxMode.STL):
+                if tx.mode in _TRACK_MODES:
                     self._track(core, line, is_write, tx)
                 return AccessResult(
                     GRANT,
@@ -409,6 +418,7 @@ class MemorySystem:
         outer = l1 if self.l2s is None else self.l2s[core]
         outer_params = p.l1 if self.l2s is None else p.l2private
         needs_insert = outer.probe(line) == MESI.I
+        pinned = None
         if needs_insert:
             pinned = self._pinned_pred(tx)
             if (
@@ -538,7 +548,7 @@ class MemorySystem:
             else:
                 others = self.directory.other_copies(line, core)
                 new_state = MESI.E if not others else MESI.S
-            victim = outer.insert(line, new_state, self._pinned_pred(tx))
+            victim = outer.insert(line, new_state, pinned)
             if victim is not None:
                 if victim.was_pinned:
                     raise ProtocolInvariantError(
@@ -569,7 +579,7 @@ class MemorySystem:
         # Blocking directory: the line stays in its transient state until
         # the requester's unblock arrives — i.e. the whole data path.
         entry.busy_until = start + data_lat
-        if tx.mode in (TxMode.HTM, TxMode.TL, TxMode.STL) and not tx.aborted:
+        if tx.mode in _TRACK_MODES and not tx.aborted:
             self._track(core, line, is_write, tx)
 
         latency = (start - now) + data_lat

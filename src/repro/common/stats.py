@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 
 class LatencyHistogram:
@@ -269,7 +269,26 @@ def speedup(baseline_cycles: int, system_cycles: int) -> float:
     return baseline_cycles / system_cycles
 
 
-def weighted_average(pairs: Mapping[str, float]) -> float:
-    if not pairs:
-        raise ValueError("empty average")
-    return sum(pairs.values()) / len(pairs)
+def weighted_average(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Weighted mean of ``(value, weight)`` pairs.
+
+    Used by the reporting layer to aggregate per-workload rates where
+    equal weighting would misrepresent the population — e.g. a commit
+    rate averaged across workloads weighted by each workload's
+    transaction attempts.  Weights must be non-negative with a positive
+    total.
+    """
+    total_w = 0.0
+    acc = 0.0
+    n = 0
+    for value, weight in pairs:
+        if weight < 0:
+            raise ValueError(f"negative weight {weight}")
+        acc += value * weight
+        total_w += weight
+        n += 1
+    if n == 0:
+        raise ValueError("weighted average of empty sequence")
+    if total_w == 0:
+        raise ValueError("weighted average with zero total weight")
+    return acc / total_w

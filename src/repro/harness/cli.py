@@ -5,8 +5,12 @@ Usage::
     python -m repro.harness.cli table1
     python -m repro.harness.cli table2
     python -m repro.harness.cli fig1  [--scale 0.25] [--threads 2,8,32]
+        [--jobs 4] [--run-cache [DIR]]
     python -m repro.harness.cli fig7  [--systems Baseline,LockillerTM]
     python -m repro.harness.cli fig8 | fig9 | fig10 | fig11 | fig12 | fig13
+    python -m repro.harness.cli sweep --workloads kmeans+ --systems \
+        CGL,LockillerTM [--threads 2,4] [--seeds 1,2] [--jobs 2] \
+        [--cache-dir DIR]
     python -m repro.harness.cli run --workload intruder --system LockillerTM \
         --threads 8 [--scale 0.25] [--seed 42] [--cache small|typical|large]
     python -m repro.harness.cli fuzz  [--cases 25] [--seed 0] [--paranoid]
@@ -80,6 +84,21 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=None)
         p.add_argument("--threads", type=str, default=None)
         p.add_argument("--seed", type=int, default=42)
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes (0=all CPUs; default $REPRO_JOBS/serial)",
+        )
+        p.add_argument(
+            "--run-cache",
+            nargs="?",
+            const=True,
+            default=None,
+            metavar="DIR",
+            help="reuse/fill the persistent run cache "
+            "(optionally rooted at DIR; default $REPRO_RUN_CACHE_DIR)",
+        )
         if name == "fig7":
             p.add_argument("--systems", type=str, default=None)
 
@@ -138,6 +157,31 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the available fault plans and exit",
     )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a cartesian sweep and print a cycles pivot"
+    )
+    sweep_p.add_argument(
+        "--workloads", required=True, help="comma-separated workload names"
+    )
+    sweep_p.add_argument(
+        "--systems", required=True, help="comma-separated Table-II systems"
+    )
+    sweep_p.add_argument("--threads", type=str, default="8")
+    sweep_p.add_argument("--seeds", type=str, default="42")
+    sweep_p.add_argument("--scale", type=float, default=0.25)
+    sweep_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (0=all CPUs; default $REPRO_JOBS/serial)",
+    )
+    sweep_p.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="root of the persistent run cache (off when omitted)",
+    )
     return parser
 
 
@@ -150,7 +194,38 @@ def _make_ctx(args: argparse.Namespace) -> ExperimentContext:
             int(x) for x in str(args.threads).split(",") if x
         )
     kwargs["seed"] = getattr(args, "seed", 42)
+    if getattr(args, "jobs", None) is not None:
+        kwargs["jobs"] = args.jobs
+    if getattr(args, "run_cache", None) is not None:
+        kwargs["disk_cache"] = args.run_cache
     return ExperimentContext(**kwargs)
+
+
+def _sweep(args: argparse.Namespace) -> str:
+    from repro.harness.sweeps import Sweep
+
+    sweep = Sweep(
+        workloads=[w for w in args.workloads.split(",") if w],
+        systems=[s for s in args.systems.split(",") if s],
+        threads=tuple(int(x) for x in args.threads.split(",") if x),
+        seeds=tuple(int(x) for x in args.seeds.split(",") if x),
+        scale=args.scale,
+    )
+    results = sweep.run(jobs=args.jobs, cache=args.cache_dir)
+    pivot = results.pivot(lambda r: float(r.cycles))
+    threads = sorted({r.point.threads for r in results.records})
+    rows = [
+        (system, *[f"{per_th.get(th, float('nan')):.0f}" for th in threads])
+        for system, per_th in pivot.items()
+    ]
+    return format_table(
+        ["system"] + [f"t{th}" for th in threads],
+        rows,
+        title=(
+            f"sweep: {len(results)} cell(s), mean execution cycles "
+            f"(scale={args.scale})"
+        ),
+    )
 
 
 def _run_single(args: argparse.Namespace) -> str:
@@ -249,6 +324,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(table2_systems())
     elif args.command == "run":
         print(_run_single(args))
+    elif args.command == "sweep":
+        print(_sweep(args))
     elif args.command == "chart":
         print(_chart(args))
     elif args.command == "fuzz":

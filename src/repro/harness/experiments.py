@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.params import (
     SystemParams,
@@ -29,6 +29,7 @@ from repro.common.stats import (
     TIME_CATS,
     RunStats,
     geometric_mean,
+    weighted_average,
 )
 from repro.harness.reporting import (
     format_breakdown_table,
@@ -54,16 +55,42 @@ def default_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 
 
+def default_jobs() -> int:
+    return int(os.environ.get("REPRO_JOBS", "1") or "1")
+
+
 @dataclass
 class ExperimentContext:
-    """Shared run cache + sweep configuration."""
+    """Shared run memo + sweep configuration.
+
+    ``jobs`` (default ``$REPRO_JOBS``, else serial) lets the figure
+    drivers execute their grids through the multi-process runner —
+    every driver pre-warms its full cell grid via :meth:`prewarm`, then
+    reads the memo cell by cell.  ``disk_cache`` additionally persists
+    results through a :class:`~repro.harness.runcache.RunCache`, so
+    overlapping figures in *different* processes (e.g. the per-figure
+    benches) reuse each other's runs.
+    """
 
     scale: float = field(default_factory=default_scale)
     seed: int = 42
     threads: Tuple[int, ...] = field(default_factory=default_threads)
     workloads: Tuple[str, ...] = tuple(PAPER_ORDER)
     params: SystemParams = field(default_factory=typical_params)
+    jobs: int = field(default_factory=default_jobs)
+    #: Persistent run cache (RunCache | path | True | None).
+    disk_cache: object = None
     _cache: Dict[tuple, RunStats] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        from repro.harness.runcache import coerce_cache
+
+        self.disk_cache = coerce_cache(self.disk_cache)
+
+    def _key(
+        self, workload: str, system: str, threads: int, params_tag: str
+    ) -> tuple:
+        return (workload, system, threads, params_tag, self.scale, self.seed)
 
     def run(
         self,
@@ -73,10 +100,23 @@ class ExperimentContext:
         params: Optional[SystemParams] = None,
         params_tag: str = "typical",
     ) -> RunStats:
-        key = (workload, system, threads, params_tag, self.scale, self.seed)
+        key = self._key(workload, system, threads, params_tag)
         hit = self._cache.get(key)
         if hit is not None:
             return hit
+        p = params or self.params
+        if self.disk_cache is not None:
+            hit = self.disk_cache.get_cell(
+                workload,
+                get_system(system),
+                p,
+                threads,
+                self.scale,
+                self.seed,
+            )
+            if hit is not None:
+                self._cache[key] = hit
+                return hit
         stats = run_workload(
             get_workload(workload),
             RunConfig(
@@ -84,11 +124,73 @@ class ExperimentContext:
                 threads=threads,
                 scale=self.scale,
                 seed=self.seed,
-                params=params or self.params,
+                params=p,
             ),
         )
         self._cache[key] = stats
+        if self.disk_cache is not None:
+            self.disk_cache.put_cell(
+                workload,
+                get_system(system),
+                p,
+                threads,
+                self.scale,
+                self.seed,
+                stats,
+            )
         return stats
+
+    def prewarm(
+        self,
+        cells: Iterable[Tuple[str, str, int]],
+        params: Optional[SystemParams] = None,
+        params_tag: str = "typical",
+    ) -> int:
+        """Bulk-run missing ``(workload, system, threads)`` cells.
+
+        With ``jobs > 1`` the missing cells execute concurrently in
+        worker processes; either way each result lands in the memo (and
+        the disk cache, when armed) so subsequent :meth:`run` calls are
+        pure lookups.  Returns the number of cells actually executed.
+        """
+        from repro.harness.parallel import CellTask, run_cells
+
+        p = params or self.params
+        tasks: List[CellTask] = []
+        keys: List[tuple] = []
+        seen = set()
+        for wl, system, th in cells:
+            key = self._key(wl, system, th, params_tag)
+            if key in seen or key in self._cache:
+                continue
+            seen.add(key)
+            spec = get_system(system)
+            if self.disk_cache is not None:
+                hit = self.disk_cache.get_cell(
+                    wl, spec, p, th, self.scale, self.seed
+                )
+                if hit is not None:
+                    self._cache[key] = hit
+                    continue
+            tasks.append(
+                CellTask(len(tasks), wl, spec, th, self.scale, self.seed, p)
+            )
+            keys.append(key)
+        results = run_cells(tasks, jobs=self.jobs)
+        for task, key in zip(tasks, keys):
+            stats = results[task.index]
+            self._cache[key] = stats
+            if self.disk_cache is not None:
+                self.disk_cache.put_cell(
+                    task.workload,
+                    task.spec,
+                    p,
+                    task.threads,
+                    self.scale,
+                    self.seed,
+                    stats,
+                )
+        return len(tasks)
 
     def speedup_vs_cgl(
         self,
@@ -155,6 +257,11 @@ def table2_systems() -> str:
 # ---------------------------------------------------------------------------
 
 def fig1_motivation(ctx: ExperimentContext) -> Dict[str, float]:
+    ctx.prewarm(
+        (wl, system, 2)
+        for wl in ctx.workloads
+        for system in ("CGL", "Baseline")
+    )
     return {
         wl: ctx.speedup_vs_cgl(wl, "Baseline", 2) for wl in ctx.workloads
     }
@@ -184,6 +291,12 @@ def fig7_speedup_grid(
     systems: Optional[Sequence[str]] = None,
 ) -> Dict[str, Dict[str, Dict[int, float]]]:
     systems = list(systems or [s for s in TABLE_ORDER if s != "CGL"])
+    ctx.prewarm(
+        (wl, system, th)
+        for wl in ctx.workloads
+        for system in ["CGL"] + systems
+        for th in ctx.threads
+    )
     grid: Dict[str, Dict[str, Dict[int, float]]] = {}
     for wl in ctx.workloads:
         grid[wl] = {}
@@ -222,14 +335,29 @@ FIG8_SYSTEMS = (
 
 
 def fig8_commit_rate(ctx: ExperimentContext) -> Dict[str, Dict[int, float]]:
+    """Average commit rate per system/thread count.
+
+    The average weights each workload by its transaction attempts —
+    a workload committing 9 of 10 transactions should not drag the
+    aggregate around as hard as one committing 9000 of 10000.
+    """
+    ctx.prewarm(
+        (wl, system, th)
+        for wl in ctx.workloads
+        for system in FIG8_SYSTEMS
+        for th in ctx.threads
+    )
     out: Dict[str, Dict[int, float]] = {}
     for system in FIG8_SYSTEMS:
         out[system] = {}
         for th in ctx.threads:
-            rates = [
-                ctx.run(wl, system, th).commit_rate for wl in ctx.workloads
-            ]
-            out[system][th] = sum(rates) / len(rates)
+            runs = [ctx.run(wl, system, th) for wl in ctx.workloads]
+            if any(r.tx_attempts for r in runs):
+                out[system][th] = weighted_average(
+                    (r.commit_rate, float(r.tx_attempts)) for r in runs
+                )
+            else:
+                out[system][th] = 1.0
     return out
 
 
@@ -267,6 +395,11 @@ def breakdown_experiment(
     threads: int,
     systems: Sequence[str],
 ) -> Dict[str, Dict[str, dict]]:
+    ctx.prewarm(
+        (wl, system, threads)
+        for wl in ctx.workloads
+        for system in systems
+    )
     out: Dict[str, Dict[str, dict]] = {}
     for wl in ctx.workloads:
         out[wl] = {}
@@ -340,6 +473,11 @@ def fig10_abort_reasons(
     ctx: ExperimentContext, threads: Optional[int] = None
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     th = threads if threads is not None else min(ctx.threads)
+    ctx.prewarm(
+        (wl, system, th)
+        for wl in ctx.workloads
+        for system in FIG10_SYSTEMS
+    )
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for wl in ctx.workloads:
         out[wl] = {}
@@ -377,6 +515,12 @@ def fig12_avg_speedup(
     systems: Optional[Sequence[str]] = None,
 ) -> Dict[str, Dict[int, float]]:
     systems = list(systems or [s for s in TABLE_ORDER if s != "CGL"])
+    ctx.prewarm(
+        (wl, system, th)
+        for wl in ctx.workloads
+        for system in ["CGL"] + systems
+        for th in ctx.threads
+    )
     out: Dict[str, Dict[int, float]] = {}
     for system in systems:
         out[system] = {}
@@ -390,6 +534,12 @@ def fig12_avg_speedup(
 def headline_ratios(ctx: ExperimentContext) -> Dict[str, float]:
     """The paper's 1.86x / 1.57x headline: LockillerTM vs Baseline and
     vs LosaTM-SAFU, geomean over workloads and thread counts."""
+    ctx.prewarm(
+        (wl, system, th)
+        for th in ctx.threads
+        for wl in ctx.workloads
+        for system in ("LockillerTM", "Baseline", "LosaTM-SAFU")
+    )
     ratios_base: List[float] = []
     ratios_losa: List[float] = []
     for th in ctx.threads:
@@ -437,6 +587,16 @@ def fig13_cache_sensitivity(
     }
     out: Dict[str, Dict[str, Dict[int, float]]] = {}
     for label, (params, tag) in configs.items():
+        ctx.prewarm(
+            (
+                (wl, system, th)
+                for wl in ctx.workloads
+                for system in ("CGL",) + FIG13_SYSTEMS
+                for th in ctx.threads
+            ),
+            params=params,
+            params_tag=tag,
+        )
         out[label] = {}
         for system in FIG13_SYSTEMS:
             out[label][system] = {}
@@ -455,6 +615,15 @@ def extreme_scenario(ctx: ExperimentContext) -> Dict[str, float]:
 
     params, tag = small_cache_params(), "small"
     th = max(ctx.threads)
+    ctx.prewarm(
+        (
+            (wl, system, th)
+            for wl in HIGH_CONTENTION
+            for system in ("LockillerTM", "Baseline", "LosaTM-SAFU")
+        ),
+        params=params,
+        params_tag=tag,
+    )
     ratios_base: List[float] = []
     ratios_losa: List[float] = []
     for wl in HIGH_CONTENTION:

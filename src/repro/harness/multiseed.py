@@ -16,9 +16,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.common.params import SystemParams, typical_params
 from repro.common.stats import RunStats
+from repro.harness.parallel import CellTask, run_cells
+from repro.harness.runcache import coerce_cache
 from repro.harness.systems import get_system
-from repro.sim.runner import RunConfig, run_workload
-from repro.workloads.registry import get_workload
 
 #: z for a ~95% two-sided normal interval.
 Z95 = 1.96
@@ -61,6 +61,57 @@ def summarize_values(values: Sequence[float]) -> MetricSummary:
     return MetricSummary(mean, math.sqrt(var), min(values), max(values), n)
 
 
+def _seed_tasks(
+    workload: str,
+    system: str,
+    threads: int,
+    seeds: Sequence[int],
+    scale: float,
+    params: SystemParams,
+    base_index: int = 0,
+) -> List[CellTask]:
+    spec = get_system(system)
+    return [
+        CellTask(base_index + i, workload, spec, threads, scale, seed, params)
+        for i, seed in enumerate(seeds)
+    ]
+
+
+def _run_tasks(tasks: List[CellTask], jobs, cache) -> List[RunStats]:
+    """Cache-aware task execution preserving task-index order."""
+    rc = coerce_cache(cache)
+    size = max((t.index for t in tasks), default=-1) + 1
+    out: List[Optional[RunStats]] = [None] * size
+    missing: List[CellTask] = []
+    for t in tasks:
+        hit = (
+            rc.get_cell(t.workload, t.spec, t.params, t.threads, t.scale, t.seed)
+            if rc is not None
+            else None
+        )
+        if hit is not None:
+            out[t.index] = hit
+        else:
+            missing.append(t)
+
+    def on_done(task: CellTask, stats: RunStats) -> None:
+        if rc is not None:
+            rc.put_cell(
+                task.workload,
+                task.spec,
+                task.params,
+                task.threads,
+                task.scale,
+                task.seed,
+                stats,
+            )
+
+    executed = run_cells(missing, jobs=jobs, on_done=on_done)
+    for t in missing:
+        out[t.index] = executed[t.index]
+    return out
+
+
 def multi_seed_runs(
     workload: str,
     system: str,
@@ -68,20 +119,17 @@ def multi_seed_runs(
     seeds: Sequence[int],
     scale: float = 0.25,
     params: Optional[SystemParams] = None,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> List[RunStats]:
-    return [
-        run_workload(
-            get_workload(workload),
-            RunConfig(
-                spec=get_system(system),
-                threads=threads,
-                scale=scale,
-                seed=seed,
-                params=params or typical_params(),
-            ),
-        )
-        for seed in seeds
-    ]
+    """One run per seed, in seed order.  ``jobs`` fans the seeds out to
+    worker processes and ``cache`` consults/fills the persistent run
+    cache; output is identical either way (each run is deterministic in
+    its seed)."""
+    tasks = _seed_tasks(
+        workload, system, threads, seeds, scale, params or typical_params()
+    )
+    return _run_tasks(tasks, jobs, cache)
 
 
 def multi_seed_runs_resilient(
@@ -93,6 +141,7 @@ def multi_seed_runs_resilient(
     params: Optional[SystemParams] = None,
     retry=None,
     checkpoint_path: Optional[str] = None,
+    cache=None,
 ):
     """Crash-tolerant :func:`multi_seed_runs`: each seed runs under a
     timeout + retry policy, failures are quarantined instead of raising,
@@ -110,6 +159,7 @@ def multi_seed_runs_resilient(
         params=params,
         retry=retry,
         checkpoint_path=checkpoint_path,
+        cache=cache,
     )
 
 
@@ -121,8 +171,12 @@ def metric_over_seeds(
     metric: Callable[[RunStats], float] = lambda s: float(s.execution_cycles),
     scale: float = 0.25,
     params: Optional[SystemParams] = None,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> MetricSummary:
-    runs = multi_seed_runs(workload, system, threads, seeds, scale, params)
+    runs = multi_seed_runs(
+        workload, system, threads, seeds, scale, params, jobs=jobs, cache=cache
+    )
     return summarize_values([metric(r) for r in runs])
 
 
@@ -134,17 +188,24 @@ def paired_speedup(
     seeds: Sequence[int],
     scale: float = 0.25,
     params: Optional[SystemParams] = None,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> MetricSummary:
     """Speedup of ``system`` over ``baseline``, paired per seed.
 
     Pairing removes the between-input variance: both systems see the
     exact same generated programs for each seed (as in the paper, where
-    every system runs the same binaries).
+    every system runs the same binaries).  Both systems' runs go into
+    one task batch, so ``jobs=N`` parallelizes across the full
+    ``2 x len(seeds)`` set.
     """
-    base_runs = multi_seed_runs(
-        workload, baseline, threads, seeds, scale, params
+    p = params or typical_params()
+    base_tasks = _seed_tasks(workload, baseline, threads, seeds, scale, p)
+    sys_tasks = _seed_tasks(
+        workload, system, threads, seeds, scale, p, base_index=len(base_tasks)
     )
-    sys_runs = multi_seed_runs(workload, system, threads, seeds, scale, params)
+    runs = _run_tasks(base_tasks + sys_tasks, jobs, cache)
+    base_runs, sys_runs = runs[: len(seeds)], runs[len(seeds):]
     ratios = [
         b.execution_cycles / s.execution_cycles
         for b, s in zip(base_runs, sys_runs)
@@ -158,10 +219,14 @@ def stability_report(
     threads: int,
     seeds: Sequence[int],
     scale: float = 0.2,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, MetricSummary]:
     """Execution-time stability (CoV) per workload — the lens under
     which the paper excluded bayes."""
     return {
-        wl: metric_over_seeds(wl, system, threads, seeds, scale=scale)
+        wl: metric_over_seeds(
+            wl, system, threads, seeds, scale=scale, jobs=jobs, cache=cache
+        )
         for wl in workloads
     }

@@ -1,0 +1,115 @@
+"""Multi-process execution of independent simulation cells.
+
+Every cell of an experiment grid is an isolated, deterministic
+simulation — a pure function of its :class:`CellTask` — so a sweep can
+fan cells out to worker processes and reassemble the results without
+changing a single bit of output: workers return ``(index, RunStats)``
+pairs, the parent slots each result at its index, and the merged list is
+identical (same order, same stats) to what the serial loop produces.
+Determinism needs no cross-process coordination because no RNG state is
+shared: each run seeds its own generators from the cell's seed.
+
+``jobs`` semantics (shared by every harness entry point):
+
+* ``None``  → ``$REPRO_JOBS`` if set, else serial;
+* ``0``     → one worker per CPU (``os.cpu_count()``);
+* ``1``     → serial, in-process (no pool, no pickling);
+* ``N > 1`` → a ``ProcessPoolExecutor`` with ``N`` workers.
+
+Worker dispatch uses plain picklable dataclasses (``SystemSpec`` and
+``SystemParams`` are frozen dataclasses; workloads travel by registry
+name), so the pool works under both fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.common.params import SystemParams
+from repro.common.stats import RunStats
+from repro.core.policies import SystemSpec
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One simulation cell, fully resolved and picklable."""
+
+    index: int
+    workload: str
+    spec: SystemSpec
+    threads: int
+    scale: float
+    seed: int
+    params: SystemParams
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Apply the shared ``jobs`` convention; returns a worker count >= 1."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        jobs = int(env) if env else 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def execute_cell(task: CellTask) -> Tuple[int, RunStats]:
+    """Run one cell (worker entry point; also the serial path)."""
+    from repro.sim.runner import RunConfig, run_workload
+    from repro.workloads.registry import get_workload
+
+    stats = run_workload(
+        get_workload(task.workload),
+        RunConfig(
+            spec=task.spec,
+            threads=task.threads,
+            scale=task.scale,
+            seed=task.seed,
+            params=task.params,
+        ),
+    )
+    return task.index, stats
+
+
+def run_cells(
+    tasks: Sequence[CellTask],
+    jobs: Optional[int] = None,
+    on_done: Optional[Callable[[CellTask, RunStats], None]] = None,
+) -> List[Optional[RunStats]]:
+    """Execute ``tasks``; returns stats positioned by each task's index.
+
+    The output list spans ``max(index) + 1`` slots so callers can mix
+    executed cells with pre-filled ones (cache hits); slots without a
+    task stay ``None``.  With ``jobs > 1`` cells run in a process pool
+    and complete in nondeterministic order, but the returned list is
+    always in index order — parallel output is bit-identical to serial.
+    ``on_done`` fires in completion order (use only for progress).
+    """
+    if not tasks:
+        return []
+    size = max(t.index for t in tasks) + 1
+    out: List[Optional[RunStats]] = [None] * size
+    workers = min(resolve_jobs(jobs), len(tasks))
+    if workers <= 1:
+        for task in tasks:
+            _, stats = execute_cell(task)
+            out[task.index] = stats
+            if on_done is not None:
+                on_done(task, stats)
+        return out
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {pool.submit(execute_cell, t): t for t in tasks}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                task = pending.pop(fut)
+                index, stats = fut.result()
+                out[index] = stats
+                if on_done is not None:
+                    on_done(task, stats)
+    return out

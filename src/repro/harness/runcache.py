@@ -1,0 +1,189 @@
+"""Persistent on-disk cache of simulation results.
+
+A run is a pure function of ``(workload, system spec, machine params,
+threads, scale, seed)`` (see docs/ARCHITECTURE.md §7), so its
+:class:`~repro.common.stats.RunStats` can be cached on disk and reused
+across benches, figure drivers and resumed sweeps.  The cache key is a
+SHA-256 content hash over the *canonicalized* cell description — every
+spec flag and every machine parameter is part of the digest, so changing
+any of them (or the cache/result schema version) silently invalidates
+the entry by landing on a different key.  Nothing is ever mutated in
+place: entries are written atomically (temp file + ``os.replace``) and a
+corrupt or stale-schema file simply reads as a miss.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` — one JSON file per cell,
+sharded by the first hash byte.  The root defaults to
+``$REPRO_RUN_CACHE_DIR``, falling back to
+``<XDG_CACHE_HOME|~/.cache>/repro-lockillertm/runcache``.
+
+This composes with — rather than replaces — the crash-tolerant sweep
+checkpoint (:mod:`repro.resilience.harness`): the checkpoint is a
+per-campaign resume journal; the run cache is a global memo shared by
+*every* campaign.  Fault-injected runs are never cached (the plan
+perturbs timing, and chaos campaigns want fresh draws).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.common.params import SystemParams
+from repro.common.stats import RunStats
+from repro.core.policies import SystemSpec
+from repro.harness.export import (
+    SCHEMA_VERSION,
+    run_stats_from_dict,
+    run_stats_to_dict,
+)
+
+#: Bump to invalidate every cached result (e.g. after a simulator change
+#: that intentionally alters timing).  The export schema version is also
+#: folded into the key, so result-format changes invalidate too.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get("REPRO_RUN_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.expanduser("~/.cache")
+    return os.path.join(xdg, "repro-lockillertm", "runcache")
+
+
+def _canonical(obj):
+    """Recursively reduce dataclasses/enums to stable JSON-able values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Enum):
+        return obj.name
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for cache key")
+
+
+def cell_key(
+    workload: str,
+    spec: SystemSpec,
+    params: SystemParams,
+    threads: int,
+    scale: float,
+    seed: int,
+) -> str:
+    """Content hash identifying one simulation cell."""
+    payload = json.dumps(
+        {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "result_schema": SCHEMA_VERSION,
+            "workload": workload,
+            "spec": _canonical(spec),
+            "params": _canonical(params),
+            "threads": threads,
+            "scale": scale,
+            "seed": seed,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class RunCache:
+    """File-per-cell result cache with hit/miss accounting."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = str(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[RunStats]:
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            stats = run_stats_from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, corrupt, or stale-schema entry: a plain miss.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(
+        self, key: str, stats: RunStats, meta: Optional[Dict] = None
+    ) -> None:
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(run_stats_to_dict(stats, meta), fh, sort_keys=True)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    # -- cell-level convenience ----------------------------------------
+
+    def get_cell(
+        self,
+        workload: str,
+        spec: SystemSpec,
+        params: SystemParams,
+        threads: int,
+        scale: float,
+        seed: int,
+    ) -> Optional[RunStats]:
+        return self.get(cell_key(workload, spec, params, threads, scale, seed))
+
+    def put_cell(
+        self,
+        workload: str,
+        spec: SystemSpec,
+        params: SystemParams,
+        threads: int,
+        scale: float,
+        seed: int,
+        stats: RunStats,
+    ) -> None:
+        self.put(
+            cell_key(workload, spec, params, threads, scale, seed),
+            stats,
+            meta={
+                "workload": workload,
+                "system": spec.name,
+                "threads": threads,
+                "scale": scale,
+                "seed": seed,
+            },
+        )
+
+
+def coerce_cache(cache) -> Optional[RunCache]:
+    """Normalize the ``cache=`` argument accepted by the harness APIs.
+
+    ``None``/``False`` → no caching; ``True`` → the default directory;
+    a string/path → a cache rooted there; a :class:`RunCache` instance →
+    itself.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return RunCache()
+    if isinstance(cache, RunCache):
+        return cache
+    if isinstance(cache, (str, os.PathLike)):
+        return RunCache(str(cache))
+    raise TypeError(f"cannot interpret cache={cache!r}")

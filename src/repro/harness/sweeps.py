@@ -11,15 +11,13 @@ to downstream users exploring their own design space.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.common.params import SystemParams, typical_params
 from repro.common.stats import RunStats
 from repro.core.policies import SystemSpec
 from repro.harness.systems import get_system
-from repro.sim.runner import RunConfig, run_workload
-from repro.workloads.registry import get_workload
 
 
 @dataclass(frozen=True)
@@ -91,24 +89,83 @@ class Sweep:
     def run(
         self,
         progress: Optional[Callable[[SweepPoint, int, int], None]] = None,
+        jobs: Optional[int] = None,
+        cache=None,
     ) -> "SweepResults":
-        records: List[SweepRecord] = []
-        total = self.size()
-        for i, point in enumerate(self.points()):
-            stats = run_workload(
-                get_workload(point.workload),
-                RunConfig(
-                    spec=self.spec_resolver(point.system),
-                    threads=point.threads,
-                    scale=self.scale,
-                    seed=point.seed,
-                    params=self.params_by_tag[point.params_tag],
-                ),
+        """Execute every cell; returns records in :meth:`points` order.
+
+        ``jobs`` fans cells out to worker processes (see
+        :mod:`repro.harness.parallel` for the ``None``/``0``/``N``
+        convention); results are merged back in grid order, so a
+        parallel run is bit-identical to a serial one.  ``cache``
+        (``True``, a directory path, or a
+        :class:`~repro.harness.runcache.RunCache`) consults and fills
+        the persistent run cache so repeated or resumed sweeps skip
+        completed cells.  ``progress`` fires once per completed cell
+        with a monotonically increasing count (completion order under
+        ``jobs > 1``).
+        """
+        from repro.harness.parallel import CellTask, run_cells
+        from repro.harness.runcache import coerce_cache
+
+        rc = coerce_cache(cache)
+        points = list(self.points())
+        total = len(points)
+        stats_list: List[Optional[RunStats]] = [None] * total
+        tasks: List[CellTask] = []
+        done_count = 0
+        for i, point in enumerate(points):
+            spec = self.spec_resolver(point.system)
+            params = self.params_by_tag[point.params_tag]
+            if rc is not None:
+                hit = rc.get_cell(
+                    point.workload,
+                    spec,
+                    params,
+                    point.threads,
+                    self.scale,
+                    point.seed,
+                )
+                if hit is not None:
+                    stats_list[i] = hit
+                    done_count += 1
+                    if progress is not None:
+                        progress(point, done_count, total)
+                    continue
+            tasks.append(
+                CellTask(
+                    i,
+                    point.workload,
+                    spec,
+                    point.threads,
+                    self.scale,
+                    point.seed,
+                    params,
+                )
             )
-            records.append(SweepRecord(point, stats))
+
+        def on_done(task: CellTask, stats: RunStats) -> None:
+            nonlocal done_count
+            if rc is not None:
+                rc.put_cell(
+                    task.workload,
+                    task.spec,
+                    task.params,
+                    task.threads,
+                    task.scale,
+                    task.seed,
+                    stats,
+                )
+            done_count += 1
             if progress is not None:
-                progress(point, i + 1, total)
-        return SweepResults(records)
+                progress(points[task.index], done_count, total)
+
+        executed = run_cells(tasks, jobs=jobs, on_done=on_done)
+        for task in tasks:
+            stats_list[task.index] = executed[task.index]
+        return SweepResults(
+            [SweepRecord(p, s) for p, s in zip(points, stats_list)]
+        )
 
     def run_resilient(
         self,
@@ -117,9 +174,12 @@ class Sweep:
         progress: Optional[Callable[[SweepPoint, int, int], None]] = None,
         fault_plan=None,
         watchdog=None,
+        cache=None,
     ):
         """Crash-tolerant :meth:`run`: per-cell timeout + retry +
-        quarantine, with optional JSON checkpointing for resume.  See
+        quarantine, with optional JSON checkpointing for resume.  The
+        run cache (``cache=``) composes with the checkpoint: cells found
+        in either are not re-run.  See
         :func:`repro.resilience.harness.run_sweep_resilient`."""
         from repro.resilience.harness import run_sweep_resilient
 
@@ -130,7 +190,22 @@ class Sweep:
             progress=progress,
             fault_plan=fault_plan,
             watchdog=watchdog,
+            cache=cache,
         )
+
+
+#: The criteria vocabulary of filter/one/pivot.
+POINT_FIELDS = tuple(f.name for f in fields(SweepPoint))
+
+
+def _check_point_fields(*names: str) -> None:
+    """Reject typo'd criterion keys with the valid vocabulary attached."""
+    for name in names:
+        if name not in POINT_FIELDS:
+            raise KeyError(
+                f"unknown sweep criterion {name!r}; valid keys: "
+                + ", ".join(POINT_FIELDS)
+            )
 
 
 class SweepResults:
@@ -143,6 +218,8 @@ class SweepResults:
         return len(self.records)
 
     def filter(self, **criteria) -> "SweepResults":
+        _check_point_fields(*criteria)
+
         def match(r: SweepRecord) -> bool:
             return all(
                 getattr(r.point, key) == value
@@ -192,6 +269,7 @@ class SweepResults:
         cols: str = "threads",
     ) -> Dict[object, Dict[object, float]]:
         """Aggregate (mean) a metric into rows x cols."""
+        _check_point_fields(rows, cols)
         acc: Dict[object, Dict[object, List[float]]] = {}
         for r in self.records:
             rkey = getattr(r.point, rows)

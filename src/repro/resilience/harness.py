@@ -230,14 +230,21 @@ def run_sweep_resilient(
     progress: Optional[Callable] = None,
     fault_plan=None,
     watchdog=None,
+    cache=None,
 ) -> ResilientSweepReport:
     """Crash-tolerant version of :meth:`repro.harness.sweeps.Sweep.run`.
 
     Every cell runs under the retry policy; failures are quarantined
     with full replay coordinates instead of killing the campaign, and —
     with ``checkpoint_path`` — completed cells are persisted after each
-    run so an interrupted campaign resumes where it stopped.
+    run so an interrupted campaign resumes where it stopped.  ``cache``
+    additionally consults/fills the global run cache
+    (:mod:`repro.harness.runcache`); it composes with the checkpoint —
+    the checkpoint is this campaign's resume journal, the cache a memo
+    shared across campaigns.  Fault-injected cells bypass the cache
+    entirely: a chaos run is not the cell's true result.
     """
+    from repro.harness.runcache import coerce_cache
     from repro.harness.sweeps import SweepRecord, SweepResults
     from repro.sim.runner import RunConfig, run_workload
     from repro.workloads.registry import get_workload
@@ -246,6 +253,7 @@ def run_sweep_resilient(
     ckpt = (
         SweepCheckpoint.load(checkpoint_path) if checkpoint_path else None
     )
+    rc = coerce_cache(cache) if fault_plan is None else None
     records: List[SweepRecord] = []
     report = ResilientSweepReport(results=None)
     total = sweep.size()
@@ -257,6 +265,24 @@ def run_sweep_resilient(
             if progress is not None:
                 progress(point, i + 1, total)
             continue
+        if rc is not None:
+            hit = rc.get_cell(
+                point.workload,
+                sweep.spec_resolver(point.system),
+                sweep.params_by_tag[point.params_tag],
+                point.threads,
+                sweep.scale,
+                point.seed,
+            )
+            if hit is not None:
+                records.append(SweepRecord(point, hit))
+                report.resumed += 1
+                if ckpt is not None:
+                    ckpt.put(label, hit)
+                    ckpt.save()
+                if progress is not None:
+                    progress(point, i + 1, total)
+                continue
         replay = {
             "workload": point.workload,
             "system": point.system,
@@ -288,6 +314,16 @@ def run_sweep_resilient(
             if ckpt is not None:
                 ckpt.put(label, stats, meta=replay)
                 ckpt.save()
+            if rc is not None:
+                rc.put_cell(
+                    point.workload,
+                    sweep.spec_resolver(point.system),
+                    sweep.params_by_tag[point.params_tag],
+                    point.threads,
+                    sweep.scale,
+                    point.seed,
+                    stats,
+                )
         else:
             report.quarantined.append(quarantined)
             if ckpt is not None:
@@ -310,14 +346,17 @@ def resilient_seed_runs(
     checkpoint_path: Optional[str] = None,
     fault_plan=None,
     watchdog=None,
+    cache=None,
 ) -> "tuple[List[RunStats], List[QuarantineRecord]]":
     """Crash-tolerant multi-seed runs (cf. ``multiseed.multi_seed_runs``).
 
     Returns the completed runs (in seed order, failed seeds omitted)
     and the quarantine list.  With ``checkpoint_path``, completed seeds
-    persist across interruptions.
+    persist across interruptions.  ``cache`` consults/fills the global
+    run cache; fault-injected runs bypass it.
     """
     from repro.common.params import typical_params
+    from repro.harness.runcache import coerce_cache
     from repro.harness.systems import get_system
     from repro.sim.runner import RunConfig, run_workload
     from repro.workloads.registry import get_workload
@@ -326,6 +365,8 @@ def resilient_seed_runs(
     ckpt = (
         SweepCheckpoint.load(checkpoint_path) if checkpoint_path else None
     )
+    rc = coerce_cache(cache) if fault_plan is None else None
+    run_params = params or typical_params()
     runs: List[RunStats] = []
     quarantined: List[QuarantineRecord] = []
     for seed in seeds:
@@ -333,6 +374,16 @@ def resilient_seed_runs(
         if ckpt is not None and ckpt.has(label):
             runs.append(ckpt.get(label))
             continue
+        if rc is not None:
+            hit = rc.get_cell(
+                workload, get_system(system), run_params, threads, scale, seed
+            )
+            if hit is not None:
+                runs.append(hit)
+                if ckpt is not None:
+                    ckpt.put(label, hit)
+                    ckpt.save()
+                continue
         replay = {
             "workload": workload,
             "system": system,
@@ -350,7 +401,7 @@ def resilient_seed_runs(
                     threads=threads,
                     scale=scale,
                     seed=s,
-                    params=params or typical_params(),
+                    params=run_params,
                     fault_plan=fault_plan,
                     watchdog=watchdog,
                 ),
@@ -362,6 +413,16 @@ def resilient_seed_runs(
             if ckpt is not None:
                 ckpt.put(label, stats, meta=replay)
                 ckpt.save()
+            if rc is not None:
+                rc.put_cell(
+                    workload,
+                    get_system(system),
+                    run_params,
+                    threads,
+                    scale,
+                    seed,
+                    stats,
+                )
         else:
             quarantined.append(record)
             if ckpt is not None:

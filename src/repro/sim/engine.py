@@ -54,9 +54,14 @@ class SimEngine:
         return token
 
     def schedule_after(self, delay: int, fn: EventFn) -> EventToken:
+        # Hottest scheduler entry point — inlines schedule() (a relative
+        # delay >= 0 can never land in the past, so no bounds re-check).
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule(self.now + delay, fn)
+        token = EventToken()
+        heapq.heappush(self._heap, (self.now + delay, self._seq, token, fn))
+        self._seq += 1
+        return token
 
     def pending(self) -> int:
         """Number of not-yet-fired (possibly cancelled) events."""
@@ -65,21 +70,46 @@ class SimEngine:
     def run(self, until: Optional[int] = None) -> int:
         """Drain events (optionally stopping after cycle ``until``).
 
-        Returns the time of the last processed event.
+        With ``until``, every event up to and including cycle ``until``
+        fires and the clock then *advances to exactly* ``until`` — a
+        truncated run ends at the truncation point, not at the time of
+        whatever event happened to fire last, so callers report the
+        cycle they asked for and a subsequent :meth:`schedule_after` is
+        anchored at the cutoff rather than a stale ``now``.  Returns
+        ``self.now``.
         """
+        # Hot loop: bind the heap, pop and budget to locals; mirror the
+        # processed count back on every exit path (events fired inside a
+        # callback raising included).
         heap = self._heap
-        while heap:
-            when, _, token, fn = heap[0]
-            if until is not None and when > until:
-                break
-            heapq.heappop(heap)
-            if token.cancelled:
-                continue
-            self.now = when
-            self.events_processed += 1
-            if self.events_processed > self._max_events:
-                raise EventBudgetError(self._max_events, self.now)
-            fn(when)
+        pop = heapq.heappop
+        budget = self._max_events
+        processed = self.events_processed
+        try:
+            if until is None:
+                while heap:
+                    when, _, token, fn = pop(heap)
+                    if token.cancelled:
+                        continue
+                    self.now = when
+                    processed += 1
+                    if processed > budget:
+                        raise EventBudgetError(budget, when)
+                    fn(when)
+            else:
+                while heap and heap[0][0] <= until:
+                    when, _, token, fn = pop(heap)
+                    if token.cancelled:
+                        continue
+                    self.now = when
+                    processed += 1
+                    if processed > budget:
+                        raise EventBudgetError(budget, when)
+                    fn(when)
+                if until > self.now:
+                    self.now = until
+        finally:
+            self.events_processed = processed
         return self.now
 
     def step(self) -> bool:

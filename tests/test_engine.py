@@ -54,6 +54,40 @@ class TestScheduling:
         eng.run()
         assert seen == [10, 20]
 
+    def test_run_until_advances_now_to_cutoff(self):
+        # A truncated run ends at the truncation point, not at the last
+        # processed event: time has observably passed up to `until`.
+        eng = SimEngine()
+        eng.schedule(10, lambda t: None)
+        eng.schedule(20, lambda t: None)
+        eng.run(until=15)
+        assert eng.now == 15
+
+    def test_run_until_empty_heap_advances_now(self):
+        eng = SimEngine()
+        eng.run(until=100)
+        assert eng.now == 100
+
+    def test_run_until_exact_event_time_runs_event(self):
+        eng = SimEngine()
+        seen = []
+        eng.schedule(15, seen.append)
+        eng.run(until=15)
+        assert seen == [15]
+        assert eng.now == 15
+
+    def test_reschedule_after_truncated_run_anchors_at_cutoff(self):
+        # schedule_after() issued after a truncated run must be relative
+        # to the cutoff, so back-to-back run(until=...) windows compose.
+        eng = SimEngine()
+        seen = []
+        eng.schedule(10, lambda t: None)
+        eng.run(until=15)
+        eng.schedule_after(5, seen.append)
+        eng.run()
+        assert seen == [20]
+        assert eng.now == 20
+
 
 class TestCancellation:
     def test_cancelled_event_skipped(self):

@@ -83,6 +83,25 @@ class TestSweepResults:
         assert all(2 in row for row in table.values())
         assert table["CGL"][2] == pytest.approx(1.0)
 
+    def test_filter_rejects_unknown_criterion(self, results):
+        # Regression: a typo'd key used to silently match nothing (or
+        # blow up with a bare AttributeError deep in the match loop).
+        with pytest.raises(KeyError, match="unknown sweep criterion"):
+            results.filter(sytem="CGL")
+        with pytest.raises(KeyError, match="workload"):
+            # The error names the valid vocabulary.
+            results.filter(wl="ssca2")
+
+    def test_one_rejects_unknown_criterion(self, results):
+        with pytest.raises(KeyError, match="unknown sweep criterion"):
+            results.one(threds=2)
+
+    def test_pivot_rejects_unknown_axis(self, results):
+        with pytest.raises(KeyError, match="unknown sweep criterion"):
+            results.pivot(lambda r: r.cycles, rows="sys", cols="threads")
+        with pytest.raises(KeyError, match="unknown sweep criterion"):
+            results.pivot(lambda r: r.cycles, cols="thread_count")
+
 
 class TestConvenience:
     def test_small_vs_typical_sweep_tags(self):

@@ -13,6 +13,7 @@ from repro.common.stats import (
     TimeCat,
     geometric_mean,
     speedup,
+    weighted_average,
 )
 from repro.common.types import LINE_SIZE, line_base, line_of, same_line
 
@@ -169,3 +170,41 @@ class TestAggregators:
         assert speedup(200, 100) == pytest.approx(2.0)
         with pytest.raises(ValueError):
             speedup(100, 0)
+
+    def test_weighted_average_weights_matter(self):
+        # 0.9 with weight 10 vs 0.5 with weight 90: far from the
+        # unweighted mean of 0.7.
+        assert weighted_average([(0.9, 10), (0.5, 90)]) == pytest.approx(0.54)
+
+    def test_weighted_average_equal_weights_is_mean(self):
+        assert weighted_average([(1.0, 1), (2.0, 1), (3.0, 1)]) == pytest.approx(2.0)
+
+    def test_weighted_average_zero_weight_entry_ignored(self):
+        assert weighted_average([(100.0, 0), (2.0, 5)]) == pytest.approx(2.0)
+
+    def test_weighted_average_rejects_empty(self):
+        with pytest.raises(ValueError):
+            weighted_average([])
+
+    def test_weighted_average_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            weighted_average([(1.0, -1.0)])
+
+    def test_weighted_average_rejects_zero_total_weight(self):
+        with pytest.raises(ValueError):
+            weighted_average([(1.0, 0.0), (2.0, 0.0)])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100),
+                st.floats(min_value=0.1, max_value=10),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_weighted_average_bounds(self, pairs):
+        w = weighted_average(pairs)
+        vals = [v for v, _ in pairs]
+        assert min(vals) - 1e-9 <= w <= max(vals) + 1e-9
