@@ -78,3 +78,34 @@ def test_end_to_end_simulation_rate(benchmark):
     cycles = benchmark(one_run)
     assert cycles > 0
     benchmark.extra_info["simulated_cycles"] = cycles
+
+
+def test_end_to_end_with_telemetry(benchmark):
+    """Same cell as above with a full telemetry session attached.
+
+    Compare against ``test_end_to_end_simulation_rate`` to read off the
+    observability overhead (docs/OBSERVABILITY.md records the budget:
+    telemetry-off must be within noise, telemetry-on is the price of
+    the event wraps + span building).
+    """
+    from repro.telemetry import Telemetry
+
+    def one_run():
+        tel = Telemetry()
+        stats = run_workload(
+            get_workload("vacation-"),
+            RunConfig(
+                spec=get_system("LockillerTM"),
+                threads=4,
+                scale=0.1,
+                seed=1,
+                telemetry=tel,
+            ),
+        )
+        return stats.execution_cycles, len(tel.registry)
+
+    (cycles, metrics) = benchmark(one_run)
+    assert cycles > 0
+    assert metrics > 0
+    benchmark.extra_info["simulated_cycles"] = cycles
+    benchmark.extra_info["metrics_published"] = metrics

@@ -652,6 +652,51 @@ class MemorySystem:
     # Validation helpers (tests, end-of-run sanity)
     # ------------------------------------------------------------------
 
+    def publish_telemetry(self, registry) -> None:
+        """Publish memory-system state under ``mem.*``/``dir.*``/``htm.*``.
+
+        Pull-model: a census over current directory/cache state plus the
+        cumulative counters the protocol already maintains — the access
+        hot path carries no metric calls.
+        """
+        mem = registry.scope("mem")
+        mem.set("memory_words", len(self.memory))
+        mem.set("llc_lines", len(self.llc.resident_lines()))
+        for i, l1 in enumerate(self.l1s):
+            mem.set(f"l1.{i}.lines", len(l1.resident_lines()))
+        if self.l2s is not None:
+            for i, l2 in enumerate(self.l2s):
+                mem.set(f"l2.{i}.lines", len(l2.resident_lines()))
+
+        # Directory bank census (address-interleaved home tiles).
+        dir_scope = registry.scope("dir")
+        dir_scope.set("entries", len(self.directory))
+        per_bank: Dict[int, List[int]] = {}
+        for line in self.directory.lines():
+            entry = self.directory.peek(line)
+            if entry is None or entry.is_idle:
+                continue
+            bank = self.topology.home_tile(line)
+            stats = per_bank.setdefault(bank, [0, 0])
+            stats[0] += 1
+            stats[1] += len(entry.sharers)
+        for bank, (lines, sharers) in sorted(per_bank.items()):
+            bank_scope = dir_scope.scope(f"bank.{bank}")
+            bank_scope.set("lines", lines)
+            bank_scope.set("sharers", sharers)
+
+        htm = registry.scope("htm")
+        htm.set("tx_read_lines", len(self.tx_readers))
+        htm.set("tx_write_lines", len(self.tx_writers))
+        sig = htm.scope("signature")
+        sig.set("spills", self.signature_spills)
+        sig.set("rejects", self.signature_rejects)
+        sig.set("owner", self.sig_owner)
+        sig.set("rd_fill_bits", self.of_rd_sig.popcount)
+        sig.set("wr_fill_bits", self.of_wr_sig.popcount)
+        sig.set("rd_fp_rate", self.of_rd_sig.false_positive_rate())
+        sig.set("wr_fp_rate", self.of_wr_sig.false_positive_rate())
+
     def check_quiescent(self) -> List[str]:
         """Invariants that must hold when no transaction is running."""
         problems: List[str] = []

@@ -163,6 +163,38 @@ class CoreStats:
             return 1.0
         return self.commits / self.tx_attempts
 
+    def publish_telemetry(self, scope) -> None:
+        """Publish this core's counters into a registry scope.
+
+        ``scope`` is a :class:`repro.telemetry.registry.Scope` (duck-
+        typed here to keep ``common`` free of telemetry imports).
+        """
+        for name in (
+            "commits_htm",
+            "commits_lock",
+            "commits_switched",
+            "tx_attempts",
+            "fallback_entries",
+            "switch_attempts",
+            "switch_successes",
+            "rejects_received",
+            "rejects_issued",
+            "wakeups_sent",
+            "wakeup_timeouts",
+            "loads",
+            "stores",
+            "l1_hits",
+            "l1_misses",
+            "l2_hits",
+        ):
+            scope.set(name, getattr(self, name))
+        scope.set("commit_rate", self.commit_rate)
+        for cat, cycles in self.time.items():
+            scope.set(f"time.{cat.value}", cycles)
+        for reason, count in self.aborts.items():
+            scope.set(f"aborts.{reason.value}", count)
+        scope.histogram("commit_latency").merge(self.commit_latency_hist)
+
 
 @dataclass
 class RunStats:

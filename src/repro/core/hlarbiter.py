@@ -95,6 +95,16 @@ class HLArbiter:
         else:
             self._tl_queue.append((core, on_granted))
 
+    def publish_telemetry(self, registry) -> None:
+        """Publish arbiter counters under ``lock_tx.arbiter.*``."""
+        scope = registry.scope("lock_tx.arbiter")
+        scope.set("stl_grants", self.stl_grants)
+        scope.set("stl_denials", self.stl_denials)
+        scope.set("tl_grants", self.tl_grants)
+        scope.set("tl_queue_depth", len(self._tl_queue))
+        scope.set("busy", self.busy)
+        scope.set("owner", self.owner if self.owner is not None else -1)
+
     def release(self, core: int) -> None:
         """hlend: leave HTMLock mode; grant a queued TL applicant if any."""
         if self.owner != core:

@@ -84,3 +84,11 @@ class WakeupTable:
     @property
     def total_pending(self) -> int:
         return sum(len(v) for v in self._table.values())
+
+    def publish_telemetry(self, registry) -> None:
+        """Publish wake-up counters under ``htm.wakeup.*``."""
+        scope = registry.scope("htm.wakeup")
+        scope.set("registered", self.registered)
+        scope.set("drained", self.drained)
+        scope.set("dropped", self.dropped)
+        scope.set("pending", self.total_pending)

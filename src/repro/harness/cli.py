@@ -13,6 +13,10 @@ Usage::
         [--cache-dir DIR]
     python -m repro.harness.cli run --workload intruder --system LockillerTM \
         --threads 8 [--scale 0.25] [--seed 42] [--cache small|typical|large]
+    python -m repro.harness.cli metrics --workload intruder \
+        --system lockiller --cores 4 [--prefix core.0] [--json] [--out F]
+    python -m repro.harness.cli timeline --workload intruder \
+        --system lockiller --cores 4 [--out trace.json]
     python -m repro.harness.cli fuzz  [--cases 25] [--seed 0] [--paranoid]
     python -m repro.harness.cli chaos [--cases 25] [--plans jitter,lossy]
         [--systems ...] [--list-plans]
@@ -20,6 +24,13 @@ Usage::
 ``run`` executes a single configuration and prints the full statistics
 (cycles, breakdown, aborts, commit rate) — the building block the
 figures aggregate.
+
+``metrics`` and ``timeline`` re-run one cell under ``repro.telemetry``:
+``metrics`` prints the hierarchical registry snapshot, ``timeline``
+emits Chrome trace-event JSON on stdout (open it in Perfetto or
+``chrome://tracing``).  Both accept friendly system names
+(``lockiller`` → ``LockillerTM``) and ``--cores`` as an alias for
+``--threads``.
 """
 
 from __future__ import annotations
@@ -47,7 +58,7 @@ from repro.harness.experiments import (
     table2_systems,
 )
 from repro.harness.reporting import format_table
-from repro.harness.systems import get_system
+from repro.harness.systems import get_system, resolve_system
 from repro.sim.runner import RunConfig, run_workload
 from repro.workloads.registry import get_workload
 
@@ -110,6 +121,49 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=42)
     run_p.add_argument(
         "--cache", choices=sorted(CACHE_CONFIGS), default="typical"
+    )
+
+    def add_cell_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", required=True)
+        p.add_argument("--system", required=True,
+                       help="Table-II name or alias (e.g. lockiller)")
+        p.add_argument("--threads", "--cores", dest="threads",
+                       type=int, default=8)
+        p.add_argument("--scale", type=float, default=0.25)
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument(
+            "--cache", choices=sorted(CACHE_CONFIGS), default="typical"
+        )
+        p.add_argument("--out", type=str, default=None,
+                       help="also write the JSON artifact to this path")
+
+    metrics_p = sub.add_parser(
+        "metrics",
+        help="run one cell under telemetry and print the metrics registry",
+    )
+    add_cell_args(metrics_p)
+    metrics_p.add_argument(
+        "--prefix", type=str, default="",
+        help="only show metrics under this dotted namespace",
+    )
+    metrics_p.add_argument(
+        "--json", action="store_true",
+        help="print the full snapshot as JSON instead of a listing",
+    )
+    metrics_p.add_argument(
+        "--limit", type=int, default=None,
+        help="cap the number of rendered lines",
+    )
+
+    timeline_p = sub.add_parser(
+        "timeline",
+        help="run one cell under telemetry and emit Chrome trace-event "
+        "JSON (stdout; open in Perfetto)",
+    )
+    add_cell_args(timeline_p)
+    timeline_p.add_argument(
+        "--summary", action="store_true",
+        help="print a human-readable span digest instead of JSON",
     )
 
     chart_p = sub.add_parser(
@@ -279,6 +333,64 @@ def _run_single(args: argparse.Namespace) -> str:
     return "\n".join(out)
 
 
+def _telemetry_cell(args: argparse.Namespace):
+    """Run the cell described by ``args`` with telemetry attached."""
+    from repro.telemetry import Telemetry
+
+    tel = Telemetry()
+    stats = run_workload(
+        get_workload(args.workload),
+        RunConfig(
+            spec=resolve_system(args.system),
+            threads=args.threads,
+            scale=args.scale,
+            seed=args.seed,
+            params=CACHE_CONFIGS[args.cache](),
+            telemetry=tel,
+        ),
+    )
+    return tel, stats
+
+
+def _metrics(args: argparse.Namespace) -> str:
+    import json
+
+    tel, _ = _telemetry_cell(args)
+    if args.out:
+        tel.write_metrics(args.out)
+        print(f"metrics written to {args.out}", file=sys.stderr)
+    if args.json:
+        return json.dumps(tel.metrics_dict(), sort_keys=True, indent=2)
+    reg = tel.registry
+    header = (
+        f"{args.workload} on {args.system} ({args.threads} threads, "
+        f"scale={args.scale}, seed={args.seed}) — "
+        f"{len(reg)} metrics, namespaces: {', '.join(reg.namespaces())}"
+    )
+    return header + "\n" + reg.render(args.prefix, limit=args.limit)
+
+
+def _timeline(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.telemetry import timeline_summary_lines
+
+    tel, _ = _telemetry_cell(args)
+    label = f"{args.workload}/{args.system}/t{args.threads}/s{args.seed}"
+    doc = tel.trace_dict(run_label=label)
+    if args.out:
+        tel.write_trace(args.out, run_label=label)
+        print(
+            f"trace written to {args.out} — open it at "
+            "https://ui.perfetto.dev or chrome://tracing",
+            file=sys.stderr,
+        )
+    if args.summary:
+        return "\n".join(timeline_summary_lines(tel.timeline))
+    # Pure JSON on stdout: pipeable into a file or a validator.
+    return json.dumps(doc, sort_keys=True)
+
+
 def _chart(args: argparse.Namespace) -> str:
     from repro.harness.charts import breakdown_chart, hbar_chart
 
@@ -326,6 +438,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_run_single(args))
     elif args.command == "sweep":
         print(_sweep(args))
+    elif args.command == "metrics":
+        print(_metrics(args))
+    elif args.command == "timeline":
+        print(_timeline(args))
     elif args.command == "chart":
         print(_chart(args))
     elif args.command == "fuzz":

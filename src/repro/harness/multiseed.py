@@ -132,6 +132,58 @@ def multi_seed_runs(
     return _run_tasks(tasks, jobs, cache)
 
 
+def trace_seed(
+    workload: str,
+    system: str,
+    threads: int,
+    seed: int,
+    scale: float = 0.25,
+    params: Optional[SystemParams] = None,
+    cache=None,
+    telemetry=None,
+) -> Dict[str, str]:
+    """Re-run one seed of a multi-seed campaign with full telemetry.
+
+    The observability companion to :func:`multi_seed_runs`: having
+    spotted an outlier seed in a summary, re-run exactly that cell with
+    a telemetry session attached and drop ``.metrics.json`` /
+    ``.trace.json`` artifacts next to its runcache entry (creating the
+    entry if the campaign didn't cache).  Returns artifact paths keyed
+    ``result`` / ``metrics`` / ``trace``.
+    """
+    from repro.harness.runcache import cell_key, coerce_cache
+    from repro.sim.runner import RunConfig, run_workload
+    from repro.telemetry import Telemetry
+    from repro.telemetry.sinks import artifact_path
+    from repro.workloads.registry import get_workload
+
+    rc = coerce_cache(cache if cache is not None else True)
+    p = params or typical_params()
+    spec = get_system(system)
+    tel = telemetry if telemetry is not None else Telemetry()
+    stats = run_workload(
+        get_workload(workload),
+        RunConfig(
+            spec,
+            threads=threads,
+            scale=scale,
+            seed=seed,
+            params=p,
+            telemetry=tel,
+        ),
+    )
+    key = cell_key(workload, spec, p, threads, scale, seed)
+    rc.put_cell(workload, spec, p, threads, scale, seed, stats)
+    out = {"result": rc.path_for(key)}
+    label = f"{workload}/{system}/t{threads}/s{seed}"
+    out["metrics"] = tel.write_metrics(artifact_path(rc, key, "metrics"))
+    if tel.timeline is not None:
+        out["trace"] = tel.write_trace(
+            artifact_path(rc, key, "trace"), run_label=label
+        )
+    return out
+
+
 def multi_seed_runs_resilient(
     workload: str,
     system: str,

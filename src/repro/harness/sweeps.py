@@ -167,6 +167,76 @@ class Sweep:
             [SweepRecord(p, s) for p, s in zip(points, stats_list)]
         )
 
+    def rerun_with_telemetry(
+        self,
+        cache,
+        telemetry=None,
+        run_label: Optional[str] = None,
+        **criteria,
+    ) -> Dict[str, str]:
+        """Re-run one cell under full telemetry; dump artifacts beside
+        its runcache entry.
+
+        ``criteria`` select exactly one :class:`SweepPoint` (same
+        vocabulary as :meth:`SweepResults.filter`).  The cell is re-run
+        with an attached :class:`~repro.telemetry.Telemetry` session —
+        runs are pure functions of the cell key, so the re-run
+        reproduces the cached result bit-for-bit while capturing the
+        *why* — and ``<key>.metrics.json`` / ``<key>.trace.json`` are
+        written atomically next to ``<key>.json`` in the cache shard.
+        Returns ``{"metrics": path, "trace": path, "result": path}``.
+        """
+        from repro.harness.runcache import cell_key, coerce_cache
+        from repro.sim.runner import RunConfig, run_workload
+        from repro.telemetry import Telemetry
+        from repro.telemetry.sinks import artifact_path
+        from repro.workloads.registry import get_workload
+
+        rc = coerce_cache(cache if cache is not None else True)
+        if rc is None:
+            raise ValueError("rerun_with_telemetry needs a run cache")
+        _check_point_fields(*criteria)
+        matches = [
+            p
+            for p in self.points()
+            if all(getattr(p, k) == v for k, v in criteria.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"{len(matches)} sweep points match {criteria!r}; expected 1"
+            )
+        point = matches[0]
+        spec = self.spec_resolver(point.system)
+        params = self.params_by_tag[point.params_tag]
+        tel = telemetry if telemetry is not None else Telemetry()
+        stats = run_workload(
+            get_workload(point.workload),
+            RunConfig(
+                spec,
+                threads=point.threads,
+                scale=self.scale,
+                seed=point.seed,
+                params=params,
+                telemetry=tel,
+            ),
+        )
+        key = cell_key(
+            point.workload, spec, params, point.threads, self.scale, point.seed
+        )
+        rc.put(key, stats, meta={"workload": point.workload,
+                                 "system": point.system,
+                                 "threads": point.threads,
+                                 "scale": self.scale,
+                                 "seed": point.seed})
+        label = run_label or point.label()
+        out = {"result": rc.path_for(key)}
+        out["metrics"] = tel.write_metrics(artifact_path(rc, key, "metrics"))
+        if tel.timeline is not None:
+            out["trace"] = tel.write_trace(
+                artifact_path(rc, key, "trace"), run_label=label
+            )
+        return out
+
     def run_resilient(
         self,
         checkpoint_path: Optional[str] = None,

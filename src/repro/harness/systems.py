@@ -110,3 +110,41 @@ def get_system(name: str) -> SystemSpec:
         raise ConfigError(
             f"unknown system {name!r}; choose from {TABLE_ORDER}"
         ) from None
+
+
+#: Friendly CLI shorthands (``lockiller`` as a bare prefix would be
+#: ambiguous across the -R* variants, so it gets an explicit alias).
+SYSTEM_ALIASES: Dict[str, str] = {
+    "lockiller": "LockillerTM",
+    "losatm": "LosaTM-SAFU",
+    "baseline": "Baseline",
+    "cgl": "CGL",
+}
+
+
+def resolve_system(name: str) -> SystemSpec:
+    """Tolerant :func:`get_system`: exact, alias, case-insensitive
+    exact, then unique case-insensitive prefix.
+
+    The CLI's resolver — library code keeps using the strict
+    :func:`get_system` so typos in programmatic sweeps still fail fast.
+    """
+    if name in SYSTEMS:
+        return SYSTEMS[name]
+    folded = name.lower()
+    if folded in SYSTEM_ALIASES:
+        return SYSTEMS[SYSTEM_ALIASES[folded]]
+    ci = [s for s in TABLE_ORDER if s.lower() == folded]
+    if len(ci) == 1:
+        return SYSTEMS[ci[0]]
+    prefixed = [s for s in TABLE_ORDER if s.lower().startswith(folded)]
+    if len(prefixed) == 1:
+        return SYSTEMS[prefixed[0]]
+    if len(prefixed) > 1:
+        raise ConfigError(
+            f"ambiguous system {name!r}: matches {prefixed}"
+        )
+    raise ConfigError(
+        f"unknown system {name!r}; choose from {TABLE_ORDER} "
+        f"(aliases: {sorted(SYSTEM_ALIASES)})"
+    )

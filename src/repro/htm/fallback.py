@@ -110,6 +110,16 @@ class LockManager:
                 )
                 self._engine.schedule_after(max(1, latency), wcb)
 
+    def publish_telemetry(self, registry, prefix: str = "lock_tx") -> None:
+        """Publish lock counters under ``lock_tx.<name>.*``."""
+        scope = registry.scope(f"{prefix}.{self.name}")
+        scope.set("acquisitions", self.acquisitions)
+        scope.set("contended_acquisitions", self.contended_acquisitions)
+        scope.set("queue_depth", self.queue_depth)
+        scope.set("elision_waiters", len(self._elision_waiters))
+        scope.set("held", self.held)
+        scope.set("holder", self.holder if self.holder is not None else -1)
+
     def wait_free(self, core: int, on_free: Callable[[int], None]) -> None:
         """Subscribe until the lock is released (Listing 1 spin at xbegin).
 

@@ -109,6 +109,21 @@ class NetworkModel:
         t += tail
         return max(1, t - now)
 
+    def publish_telemetry(self, registry) -> None:
+        """Publish NoC counters under ``noc.*`` / ``noc.link.X_Y.*``."""
+        noc = registry.scope("noc")
+        noc.set("messages_sent", self.messages_sent)
+        noc.set("flits_sent", self.flits_sent)
+        noc.set("hops_traversed", self.hops_traversed)
+        noc.set("link_stalls", self.link_stalls)
+        if self.messages_sent:
+            noc.set(
+                "mean_hops", self.hops_traversed / self.messages_sent
+            )
+        # Per-link occupancy exists only under contention modeling.
+        for (a, b), busy_until in sorted(self._link_busy.items()):
+            noc.set(f"link.{a}_{b}.busy_until", busy_until)
+
     def latency_for(self, src_tile: int, dst_tile: int, mtype: MsgType) -> int:
         return self.latency(src_tile, dst_tile, mtype.msg_class)
 

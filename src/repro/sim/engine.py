@@ -112,6 +112,13 @@ class SimEngine:
             self.events_processed = processed
         return self.now
 
+    def publish_telemetry(self, registry) -> None:
+        """Publish scheduler counters under ``sim.*`` (pull-model)."""
+        sim = registry.scope("sim")
+        sim.set("now", self.now)
+        sim.set("events_processed", self.events_processed)
+        sim.set("events_pending", self.pending())
+
     def step(self) -> bool:
         """Process exactly one live event; False when the heap is empty.
 

@@ -172,6 +172,40 @@ class Machine:
         return self._finished == len(self.cpus)
 
     # ------------------------------------------------------------------
+    # Telemetry (repro.telemetry) — pull-model metric publication
+    # ------------------------------------------------------------------
+
+    def publish_telemetry(self, registry) -> None:
+        """Publish every component's counters into ``registry``.
+
+        Called by :meth:`repro.telemetry.session.Telemetry.finalize`;
+        safe at any point (during or after a run) and has no effect on
+        machine state, so it can also drive live mid-run snapshots.
+        """
+        self.engine.publish_telemetry(registry)
+        self.network.publish_telemetry(registry)
+        self.memsys.publish_telemetry(registry)
+        self.wakeups.publish_telemetry(registry)
+        self.hl_arbiter.publish_telemetry(registry)
+        self.fallback_lock.publish_telemetry(registry)
+        nack = registry.scope("htm.nack")
+        total_received = 0
+        total_issued = 0
+        for core, cs in enumerate(self.core_stats):
+            cs.publish_telemetry(registry.scope(f"core.{core}"))
+            nack.set(f"received.core.{core}", cs.rejects_received)
+            nack.set(f"issued.core.{core}", cs.rejects_issued)
+            total_received += cs.rejects_received
+            total_issued += cs.rejects_issued
+        nack.set("received.total", total_received)
+        nack.set("issued.total", total_issued)
+        run = registry.scope("run")
+        run.set("cores", len(self.cpus))
+        run.set("system", self.spec.name)
+        run.set("seed", self.seed)
+        run.set("finished_cores", self._finished)
+
+    # ------------------------------------------------------------------
     # Forward-progress watchdog (repro.resilience.watchdog)
     # ------------------------------------------------------------------
 

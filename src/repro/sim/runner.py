@@ -35,6 +35,10 @@ class RunConfig:
     #: forward-progress watchdog.  Both default off (zero overhead).
     fault_plan: Optional[object] = None
     watchdog: Optional[object] = None
+    #: Optional observability session (repro.telemetry.Telemetry).
+    #: None (the default) leaves the machine completely unwrapped —
+    #: telemetry-off runs are bit-identical to the seed goldens.
+    telemetry: Optional[object] = None
 
 
 def run_workload(
@@ -59,8 +63,29 @@ def run_workload(
         fault_plan=config.fault_plan,
         watchdog=config.watchdog,
     )
-    cycles = machine.run(max_cycles=config.max_cycles)
+    telemetry = config.telemetry
+    if telemetry is not None:
+        telemetry.attach(machine)
+    try:
+        cycles = machine.run(max_cycles=config.max_cycles)
+    except BaseException:
+        # Pull metrics / close the timeline even on failed runs —
+        # livelock diagnosis is telemetry's best customer — then
+        # restore the wrapped callbacks.
+        if telemetry is not None:
+            telemetry.finalize(
+                RunStats(
+                    execution_cycles=machine.engine.now,
+                    cores=machine.core_stats,
+                ),
+                build,
+            )
+            telemetry.detach()
+        raise
     stats = RunStats(execution_cycles=cycles, cores=machine.core_stats)
+    if telemetry is not None:
+        telemetry.finalize(stats, build)
+        telemetry.detach()
     if config.check:
         failures = build.verify(machine.memsys.memory)
         failures.extend(machine.memsys.check_quiescent())

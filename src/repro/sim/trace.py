@@ -1,11 +1,18 @@
 """Execution tracing and contention profiling.
 
 Real simulator releases live or die by their observability; this module
-provides an opt-in trace recorder that hooks the machine's transaction
+provides an opt-in trace recorder for the machine's transaction
 lifecycle and conflict events, plus a per-line contention profile.  The
-recorder is **off by default** and costs nothing when disabled: the
-Machine only calls into it through :func:`attach`, which monkey-wires
-the relevant callbacks.
+recorder is **off by default** and costs nothing when disabled.
+
+Since the introduction of :mod:`repro.telemetry`, the tracer no longer
+wraps machine callbacks itself: it subscribes to the machine's
+:class:`~repro.telemetry.events.TelemetryHub`, which installs one set
+of wraps shared by every consumer (tracer, timeline, metrics).  That
+makes :meth:`Tracer.attach` idempotent — attaching twice to the same
+machine is a no-op — and gives :meth:`Tracer.detach` exact restore
+semantics: when the last hub subscriber leaves, the original callbacks
+are put back and the machine is wrap-free again.
 
 Typical use::
 
@@ -15,27 +22,23 @@ Typical use::
     machine.run()
     print(tracer.render_tail(20))
     hot = tracer.contention_profile().hottest(5)
+    tracer.detach()   # machine callbacks restored
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
+from repro.telemetry.events import TelemetryEvent, TelemetryHub, TraceEvent
 
-class TraceEvent(str, Enum):
-    TX_BEGIN = "tx_begin"
-    TX_COMMIT = "tx_commit"
-    TX_ABORT = "tx_abort"
-    REJECT = "reject"
-    WAKEUP = "wakeup"
-    FALLBACK = "fallback"
-    SWITCH_ATTEMPT = "switch_attempt"
-    SWITCH_OK = "switch_ok"
-    OVERFLOW = "overflow"
-    SPILL = "spill"
+__all__ = [
+    "ContentionProfile",
+    "TraceEvent",
+    "TraceRecord",
+    "Tracer",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +67,18 @@ class ContentionProfile:
     @property
     def total(self) -> int:
         return sum(self.conflicts.values())
+
+
+def _detail_for(ev: TelemetryEvent) -> str:
+    """Human-readable detail string, matching the classic tracer output."""
+    kind = ev.kind
+    if kind is TraceEvent.REJECT:
+        return f"by core{ev.arg}"
+    if kind is TraceEvent.WAKEUP:
+        return f"{ev.arg} waiter(s)"
+    if ev.arg is None:
+        return ""
+    return str(ev.arg)
 
 
 class Tracer:
@@ -103,125 +118,40 @@ class Tracer:
     def note_conflict(self, line: int) -> None:
         self._line_conflicts[line] += 1
 
+    def _on_event(self, ev: TelemetryEvent) -> None:
+        if ev.kind is TraceEvent.REJECT and ev.line >= 0:
+            self.note_conflict(ev.line)
+        self.record(ev.time, ev.kind, ev.core, _detail_for(ev), ev.line)
+
     # ------------------------------------------------------------------
 
-    def attach(self, machine) -> None:
-        """Wire this tracer into a machine (before ``machine.run()``)."""
+    @property
+    def attached(self) -> bool:
+        return self._machine is not None
+
+    def attach(self, machine) -> "Tracer":
+        """Wire this tracer into a machine (before ``machine.run()``).
+
+        Idempotent: attaching again to the *same* machine is a no-op.
+        Attaching to a different machine while attached raises — one
+        tracer buffers one machine's history; detach first.
+        """
+        if self._machine is machine:
+            return self
         if self._machine is not None:
             raise RuntimeError("tracer already attached")
         self._machine = machine
-        tracer = self
+        TelemetryHub.of(machine).subscribe(self._on_event)
+        return self
 
-        # Wrap the victim-abort callback (covers every external abort).
-        inner_abort = machine.memsys.abort_core
-
-        def traced_abort(core, reason, now):
-            cpu = machine.cpus[core]
-            if cpu.tx.mode.in_transaction and not cpu.tx.aborted:
-                tracer.record(
-                    now, TraceEvent.TX_ABORT, core, detail=str(reason.value)
-                )
-            inner_abort(core, reason, now)
-
-        machine.memsys.abort_core = traced_abort
-
-        # Wrap the memory access path for rejects/overflows.
-        memsys = machine.memsys
-        inner_access = memsys.access
-
-        def traced_access(core, addr, is_write, now):
-            res = inner_access(core, addr, is_write, now)
-            from repro.coherence.memsys import OVERFLOW, REJECT
-
-            if res.status == REJECT:
-                tracer.record(
-                    now,
-                    TraceEvent.REJECT,
-                    core,
-                    detail=f"by core{res.reject_holder}",
-                    line=addr >> 6,
-                )
-                tracer.note_conflict(addr >> 6)
-            elif res.status == OVERFLOW:
-                tracer.record(
-                    now, TraceEvent.OVERFLOW, core, line=addr >> 6
-                )
-            return res
-
-        memsys.access = traced_access
-
-        # Wrap wakeup delivery.
-        inner_drain = machine.drain_wakeups
-
-        def traced_drain(holder, now):
-            pending = machine.wakeups.pending_for(holder)
-            if pending:
-                tracer.record(
-                    now,
-                    TraceEvent.WAKEUP,
-                    holder,
-                    detail=f"{pending} waiter(s)",
-                )
-            inner_drain(holder, now)
-
-        machine.drain_wakeups = traced_drain
-
-        # Per-CPU lifecycle hooks.
-        for cpu in machine.cpus:
-            self._wrap_cpu(cpu)
-
-    def _wrap_cpu(self, cpu) -> None:
-        tracer = self
-
-        inner_xbegin = cpu._xbegin
-
-        def traced_xbegin(now):
-            tracer.record(now, TraceEvent.TX_BEGIN, cpu.core)
-            inner_xbegin(now)
-
-        cpu._xbegin = traced_xbegin
-
-        inner_commit_done = cpu._commit_done
-
-        def traced_commit_done(now, cat, kind):
-            tracer.record(
-                now, TraceEvent.TX_COMMIT, cpu.core, detail=kind
-            )
-            inner_commit_done(now, cat, kind)
-
-        cpu._commit_done = traced_commit_done
-
-        inner_local_abort = cpu._local_abort
-
-        def traced_local_abort(now, reason):
-            if not cpu.tx.aborted:
-                tracer.record(
-                    now, TraceEvent.TX_ABORT, cpu.core, detail=str(reason.value)
-                )
-            inner_local_abort(now, reason)
-
-        cpu._local_abort = traced_local_abort
-
-        inner_fallback = cpu._go_fallback
-
-        def traced_fallback(now):
-            tracer.record(now, TraceEvent.FALLBACK, cpu.core)
-            inner_fallback(now)
-
-        cpu._go_fallback = traced_fallback
-
-        inner_stl = cpu._stl_result
-
-        def traced_stl(now, granted, attempt_seq, **kwargs):
-            tracer.record(
-                now,
-                TraceEvent.SWITCH_OK if granted else TraceEvent.SWITCH_ATTEMPT,
-                cpu.core,
-                detail="granted" if granted else "denied",
-            )
-            inner_stl(now, granted, attempt_seq, **kwargs)
-
-        cpu._stl_result = traced_stl
+    def detach(self) -> None:
+        """Unsubscribe; the hub restores wrapped callbacks when the
+        last subscriber leaves.  Safe to call when not attached.
+        Recorded history is kept."""
+        if self._machine is None:
+            return
+        TelemetryHub.of(self._machine).unsubscribe(self._on_event)
+        self._machine = None
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,209 @@
+"""Render timelines as Chrome trace-event JSON (Perfetto-loadable).
+
+Produces the "JSON Array Format" documented by the Chrome trace-event
+spec: a ``{"displayTimeUnit": ..., "traceEvents": [...]}`` object whose
+events carry ``ph`` (phase), ``ts`` (microsecond timestamp), ``pid``,
+``tid``, ``name`` and, for complete events, ``dur``.  We map simulator
+cycles 1:1 to microseconds (``displayTimeUnit: "ns"`` keeps Perfetto's
+axis labels small) — absolute wall time is meaningless for a simulator,
+relative placement is everything.
+
+Track layout: one ``pid`` per machine, one ``tid`` per core (spans +
+instant marks), plus counter tracks (``ph: "C"``) for machine-wide
+live-set occupancy and overflow-signature fill.
+
+:func:`validate_chrome_trace` is the schema check CI runs against the
+emitted artifact; it accepts any document Perfetto would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.telemetry.timeline import TimelineBuilder
+
+#: ph values of the trace-event spec that this module emits / accepts.
+_KNOWN_PHASES = frozenset("XBEiICMbnesfOND()Pvc,t")
+
+
+def _meta(pid: int, tid: int, name: str, arg: str) -> Dict[str, object]:
+    return {
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "ts": 0,
+        "name": name,
+        "args": {"name": arg},
+    }
+
+
+def chrome_trace(
+    timeline: TimelineBuilder,
+    run_label: str = "repro",
+    pid: int = 1,
+) -> Dict[str, object]:
+    """Render a :class:`TimelineBuilder` as a Chrome trace document."""
+    events: List[Dict[str, object]] = []
+    events.append(_meta(pid, 0, "process_name", run_label))
+
+    for core in timeline.cores():
+        events.append(_meta(pid, core + 1, "thread_name", f"core {core}"))
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": core + 1,
+                "ts": 0,
+                "name": "thread_sort_index",
+                "args": {"sort_index": core},
+            }
+        )
+
+    for span in timeline.spans:
+        tid = span.core + 1
+        args: Dict[str, object] = {
+            "mode": span.mode,
+            "outcome": span.outcome,
+            "index": span.index,
+        }
+        if span.kind is not None:
+            args["commit_kind"] = span.kind
+        if span.abort_reason is not None:
+            args["abort_reason"] = span.abort_reason
+        if span.priority is not None:
+            args["priority"] = span.priority
+        if span.nacks:
+            args["nacks"] = span.nacks
+        if span.wakeups:
+            args["wakeups"] = span.wakeups
+        if span.overflows:
+            args["overflows"] = span.overflows
+        if span.spills:
+            args["spills"] = span.spills
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": span.start,
+                # Perfetto rejects dur=0; clamp zero-length spans to 1.
+                "dur": max(span.duration, 1),
+                "name": span.label(),
+                "cat": f"tx,{span.mode}",
+                "args": args,
+            }
+        )
+        for t, label in span.marks:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": t,
+                    "name": label,
+                    "s": "t",
+                    "cat": "mark",
+                }
+            )
+
+    for t, core, label in timeline.instants:
+        events.append(
+            {
+                "ph": "i",
+                "pid": pid,
+                "tid": core + 1,
+                "ts": t,
+                "name": label,
+                "s": "t",
+                "cat": "mark",
+            }
+        )
+
+    for t, live, sig in timeline.counter_samples:
+        events.append(
+            {
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "ts": t,
+                "name": "live-set lines",
+                "args": {"lines": live},
+            }
+        )
+        events.append(
+            {
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "ts": t,
+                "name": "signature fill",
+                "args": {"bits": sig},
+            }
+        )
+
+    events.sort(key=lambda e: (e["ts"], 0 if e["ph"] == "M" else 1))
+    return {"displayTimeUnit": "ns", "traceEvents": events}
+
+
+def validate_chrome_trace(doc) -> List[str]:
+    """Validate a trace document; returns a list of problems (empty=ok).
+
+    Checks the structural contract the Chrome trace-event JSON format
+    requires: a ``traceEvents`` array, a ``displayTimeUnit`` of ``ms``
+    or ``ns``, and per-event ``ph``/``pid``/``tid``/``ts`` fields with
+    ``dur >= 0`` on complete (``X``) events.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected object"]
+    unit = doc.get("displayTimeUnit")
+    if unit not in ("ms", "ns"):
+        problems.append(f"displayTimeUnit {unit!r} not in ('ms', 'ns')")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return problems + ["traceEvents missing or not an array"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: bad ph {ph!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                problems.append(f"{where}: missing int {field}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing name")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event with bad dur {dur!r}")
+        if len(problems) >= 20:
+            problems.append("... (truncated)")
+            break
+    return problems
+
+
+def timeline_summary_lines(
+    timeline: TimelineBuilder, limit: Optional[int] = 10
+) -> List[str]:
+    """Short human-readable digest of a timeline (for CLI stderr)."""
+    s = timeline.summary()
+    lines = [
+        f"spans={s['spans']} outcomes={s['by_outcome']} "
+        f"nacks={s['nacks']} samples={s['counter_samples']} "
+        f"dropped={s['dropped']}"
+    ]
+    for span in timeline.spans[: limit or 0]:
+        lines.append(
+            f"  core{span.core} tx#{span.index} "
+            f"[{span.start}, {span.end}] {span.label()}"
+            + (f" nacks={span.nacks}" if span.nacks else "")
+        )
+    if limit is not None and len(timeline.spans) > limit:
+        lines.append(f"  ... ({len(timeline.spans)} spans total)")
+    return lines

@@ -1,0 +1,280 @@
+"""Transaction timeline reconstruction from lifecycle events.
+
+Subscribes to the :class:`~repro.telemetry.events.TelemetryHub` and
+folds the event stream into per-transaction **spans**: one
+:class:`TxSpan` per critical-section attempt, from ``xbegin`` (or
+irrevocable lock entry) through its NACKs, stalls, spills and wake-ups
+to the commit or abort that closes it.  Spans carry the attempt's mode
+trajectory (``htm``, ``htm->stl``, ``tl``, ``fallback``), outcome,
+abort reason and the priority the conflict manager saw at close — the
+per-cell "why" behind the paper's aggregate bars.
+
+Alongside spans the builder samples two machine-level counter tracks at
+span boundaries: the total transactional live set (lines pinned across
+all cores) and the LLC overflow-signature fill, the two capacity
+signals of the HTMLock mechanism.  Render everything with
+:func:`repro.telemetry.chrometrace.chrome_trace` and load the JSON in
+Perfetto or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.events import TelemetryEvent, TelemetryHub, TraceEvent
+
+#: Span-boundary kinds that trigger a counter-track sample.
+_SAMPLE_KINDS = (
+    TraceEvent.TX_BEGIN,
+    TraceEvent.LOCK_BEGIN,
+    TraceEvent.TX_COMMIT,
+    TraceEvent.TX_ABORT,
+    TraceEvent.SPILL,
+)
+
+
+class TxSpan:
+    """One critical-section attempt on one core."""
+
+    __slots__ = (
+        "core",
+        "index",
+        "start",
+        "end",
+        "mode",
+        "switched",
+        "outcome",
+        "kind",
+        "abort_reason",
+        "nacks",
+        "wakeups",
+        "overflows",
+        "spills",
+        "priority",
+        "marks",
+    )
+
+    def __init__(self, core: int, index: int, start: int, mode: str) -> None:
+        self.core = core
+        self.index = index
+        self.start = start
+        self.end: Optional[int] = None
+        self.mode = mode
+        self.switched = False
+        #: "commit" | "abort" | "open" (never closed; truncated run).
+        self.outcome = "open"
+        #: Commit kind ("htm" / "lock" / "switched") when committed.
+        self.kind: Optional[str] = None
+        self.abort_reason: Optional[str] = None
+        self.nacks = 0
+        self.wakeups = 0
+        self.overflows = 0
+        self.spills = 0
+        self.priority: Optional[int] = None
+        #: (time, label) annotations inside the span (bounded).
+        self.marks: List[Tuple[int, str]] = []
+
+    @property
+    def duration(self) -> int:
+        end = self.end if self.end is not None else self.start
+        return max(end - self.start, 0)
+
+    def label(self) -> str:
+        if self.outcome == "commit":
+            return f"{self.mode} commit"
+        if self.outcome == "abort":
+            return f"{self.mode} abort:{self.abort_reason}"
+        return f"{self.mode} (open)"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "core": self.core,
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "mode": self.mode,
+            "switched": self.switched,
+            "outcome": self.outcome,
+            "kind": self.kind,
+            "abort_reason": self.abort_reason,
+            "nacks": self.nacks,
+            "wakeups": self.wakeups,
+            "overflows": self.overflows,
+            "spills": self.spills,
+            "priority": self.priority,
+            "marks": [list(m) for m in self.marks],
+        }
+
+
+class TimelineBuilder:
+    """Folds the telemetry event stream into spans + counter tracks."""
+
+    #: Per-span annotation cap (runaway NACK storms stay bounded).
+    MAX_MARKS_PER_SPAN = 64
+
+    def __init__(self, capacity: int = 200_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.spans: List[TxSpan] = []
+        #: Instant events outside any span (e.g. plain-access NACKs).
+        self.instants: List[Tuple[int, int, str]] = []
+        #: (time, live_set_lines, signature_bits_set) samples.
+        self.counter_samples: List[Tuple[int, int, int]] = []
+        self.dropped = 0
+        self._open: Dict[int, TxSpan] = {}
+        self._span_seq: Dict[int, int] = {}
+        self._machine = None
+        self._last_sample_time = -1
+
+    # -- hub plumbing --------------------------------------------------
+
+    def attach(self, machine) -> "TimelineBuilder":
+        if self._machine is machine:
+            return self
+        if self._machine is not None:
+            raise RuntimeError("timeline already attached to another machine")
+        self._machine = machine
+        TelemetryHub.of(machine).subscribe(self.handle)
+        return self
+
+    def detach(self) -> None:
+        if self._machine is None:
+            return
+        TelemetryHub.of(self._machine).unsubscribe(self.handle)
+        self._machine = None
+
+    # -- event folding -------------------------------------------------
+
+    def _begin(self, ev: TelemetryEvent, mode: str) -> None:
+        prev = self._open.pop(ev.core, None)
+        if prev is not None:
+            # Defensive: a begin with a span still open closes it as-is.
+            prev.end = ev.time
+        seq = self._span_seq.get(ev.core, 0)
+        self._span_seq[ev.core] = seq + 1
+        span = TxSpan(ev.core, seq, ev.time, mode)
+        self._open[ev.core] = span
+        self._record(span)
+
+    def _close(self, ev: TelemetryEvent, outcome: str) -> None:
+        span = self._open.pop(ev.core, None)
+        if span is None:
+            return
+        span.end = ev.time
+        span.outcome = outcome
+        if outcome == "commit":
+            span.kind = ev.arg
+        else:
+            span.abort_reason = ev.arg
+        machine = self._machine
+        if machine is not None:
+            span.priority = machine.memsys.priority_of(ev.core, ev.time)
+
+    def _mark(self, span: TxSpan, time: int, label: str) -> None:
+        if len(span.marks) < self.MAX_MARKS_PER_SPAN:
+            span.marks.append((time, label))
+
+    def _record(self, span: TxSpan) -> None:
+        if len(self.spans) >= self.capacity:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    def handle(self, ev: TelemetryEvent) -> None:
+        kind = ev.kind
+        if kind is TraceEvent.TX_BEGIN:
+            self._begin(ev, "htm")
+        elif kind is TraceEvent.LOCK_BEGIN:
+            self._begin(ev, ev.arg or "lock")
+        elif kind is TraceEvent.TX_COMMIT:
+            self._close(ev, "commit")
+        elif kind is TraceEvent.TX_ABORT:
+            self._close(ev, "abort")
+        else:
+            span = self._open.get(ev.core)
+            if kind is TraceEvent.REJECT:
+                if span is not None:
+                    span.nacks += 1
+                    self._mark(span, ev.time, f"nack by core{ev.arg}")
+                else:
+                    self._instant(ev.time, ev.core, f"nack by core{ev.arg}")
+            elif kind is TraceEvent.WAKEUP:
+                if span is not None:
+                    span.wakeups += int(ev.arg or 0)
+                self._instant(ev.time, ev.core, f"wakeup x{ev.arg}")
+            elif kind is TraceEvent.OVERFLOW:
+                if span is not None:
+                    span.overflows += 1
+                    self._mark(span, ev.time, f"overflow line={ev.line:#x}")
+            elif kind is TraceEvent.SPILL:
+                if span is not None:
+                    span.spills += 1
+                    self._mark(span, ev.time, f"spill line={ev.line:#x}")
+            elif kind is TraceEvent.FALLBACK:
+                self._instant(ev.time, ev.core, "fallback entry")
+            elif kind is TraceEvent.SWITCH_OK:
+                if span is not None:
+                    span.switched = True
+                    span.mode = "htm->stl"
+                    self._mark(span, ev.time, "switched to STL")
+            elif kind is TraceEvent.SWITCH_ATTEMPT:
+                if span is not None:
+                    self._mark(span, ev.time, "STL application denied")
+        if kind in _SAMPLE_KINDS:
+            self._sample(ev.time)
+
+    def _instant(self, time: int, core: int, label: str) -> None:
+        if len(self.instants) < self.capacity:
+            self.instants.append((time, core, label))
+        else:
+            self.dropped += 1
+
+    def _sample(self, time: int) -> None:
+        machine = self._machine
+        if machine is None or time == self._last_sample_time:
+            return
+        self._last_sample_time = time
+        memsys = machine.memsys
+        live = sum(
+            len(tx.read_set) + len(tx.write_set) for tx in memsys.tx_states
+        )
+        sig = memsys.of_rd_sig.popcount + memsys.of_wr_sig.popcount
+        if len(self.counter_samples) < self.capacity:
+            self.counter_samples.append((time, live, sig))
+
+    # -- finalization / queries ----------------------------------------
+
+    def close(self, end_time: Optional[int] = None) -> None:
+        """Close any still-open span (truncated or failed runs)."""
+        for span in self._open.values():
+            span.end = end_time if end_time is not None else span.start
+        self._open.clear()
+
+    def spans_for_core(self, core: int) -> List[TxSpan]:
+        return [s for s in self.spans if s.core == core]
+
+    def committed(self) -> List[TxSpan]:
+        return [s for s in self.spans if s.outcome == "commit"]
+
+    def aborted(self) -> List[TxSpan]:
+        return [s for s in self.spans if s.outcome == "abort"]
+
+    def cores(self) -> List[int]:
+        return sorted({s.core for s in self.spans})
+
+    def summary(self) -> Dict[str, object]:
+        by_outcome: Dict[str, int] = {}
+        for s in self.spans:
+            by_outcome[s.outcome] = by_outcome.get(s.outcome, 0) + 1
+        return {
+            "spans": len(self.spans),
+            "by_outcome": by_outcome,
+            "nacks": sum(s.nacks for s in self.spans),
+            "instants": len(self.instants),
+            "counter_samples": len(self.counter_samples),
+            "dropped": self.dropped,
+        }
+
+    def __len__(self) -> int:
+        return len(self.spans)

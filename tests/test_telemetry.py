@@ -1,0 +1,369 @@
+"""repro.telemetry: registry, hub, timeline, Chrome trace, sinks,
+harness wiring, CLI.
+
+The load-bearing guarantee is *non-perturbation*: attaching a full
+telemetry session must not change a single simulated bit.  The pinned
+golden cell from ``test_golden_determinism`` is re-asserted here both
+with telemetry off (default path untouched) and with telemetry on
+(observation only).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.common.params import typical_params
+from repro.harness.cli import main as cli_main
+from repro.harness.export import fingerprint
+from repro.harness.multiseed import trace_seed
+from repro.harness.runcache import RunCache
+from repro.harness.sweeps import Sweep
+from repro.harness.systems import get_system, resolve_system
+from repro.sim.machine import Machine
+from repro.sim.runner import RunConfig, run_workload
+from repro.telemetry import (
+    ARTIFACT_SUFFIXES,
+    MetricsRegistry,
+    NULL_METRIC,
+    Telemetry,
+    TelemetryHub,
+    artifact_path,
+    chrome_trace,
+    read_jsonl,
+    validate_chrome_trace,
+    write_json_atomic,
+    write_jsonl_atomic,
+)
+from repro.workloads.registry import get_workload
+
+#: Same pinned cell as tests/test_golden_determinism.py.
+GOLD_CYCLES, GOLD_FP, GOLD_COMMITS, GOLD_ABORTS = (
+    9755,
+    "1877f557f4e76393",
+    40,
+    5,
+)
+
+
+def _gold_config(telemetry=None):
+    return RunConfig(
+        spec=get_system("LockillerTM"),
+        threads=4,
+        scale=0.05,
+        seed=3,
+        telemetry=telemetry,
+    )
+
+
+def _gold_run(telemetry=None):
+    return run_workload(get_workload("intruder"), _gold_config(telemetry))
+
+
+class TestRegistry:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("htm.nack.total").inc()
+        reg.counter("htm.nack.total").inc(4)
+        reg.gauge("run.cycles").set(9755)
+        assert reg.value("htm.nack.total") == 5
+        assert reg.value("run.cycles") == 9755
+        assert len(reg) == 2
+        assert "htm.nack.total" in reg and "nope" not in reg
+
+    def test_histogram_serializes(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("commit_latency")
+        for v in (1, 2, 4, 100):
+            h.record(v)
+        val = reg.value("commit_latency")
+        assert val["count"] == 4
+        assert val["total"] == 107
+        assert val["p99_ub"] >= 100
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_disabled_registry_is_null(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is NULL_METRIC
+        assert reg.gauge("b") is NULL_METRIC
+        assert reg.histogram("c") is NULL_METRIC
+        reg.counter("a").inc()
+        reg.set("d", 7)
+        assert len(reg) == 0
+        assert reg.snapshot() == {}
+
+    def test_scope_prefixes(self):
+        reg = MetricsRegistry()
+        core0 = reg.scope("core.0")
+        core0.counter("commits_htm").inc(3)
+        core0.scope("time").gauge("htm").set(0.5)
+        assert reg.value("core.0.commits_htm") == 3
+        assert reg.value("core.0.time.htm") == 0.5
+
+    def test_query_namespaces_render(self):
+        reg = MetricsRegistry()
+        reg.counter("noc.messages_sent").inc(10)
+        reg.gauge("noc.link.0_1.busy_until").set(99)
+        reg.gauge("sim.now").set(1)
+        assert reg.query("noc") == {
+            "noc.messages_sent": 10,
+            "noc.link.0_1.busy_until": 99,
+        }
+        assert reg.namespaces() == ["noc", "sim"]
+        out = reg.render("noc")
+        assert "noc.messages_sent" in out and "sim.now" not in out
+        assert reg.render(limit=2).count("\n") <= 2
+
+
+class TestHub:
+    def test_hub_cached_per_machine(self):
+        m = Machine(
+            typical_params(), get_system("Baseline"), [[] for _ in range(2)]
+        )
+        assert TelemetryHub.of(m) is TelemetryHub.of(m)
+
+    def test_subscribe_wires_unsubscribe_restores(self):
+        m = Machine(
+            typical_params(), get_system("Baseline"), [[] for _ in range(2)]
+        )
+        hub = TelemetryHub.of(m)
+        orig_access = m.memsys.access
+        orig_xbegin = m.cpus[0]._xbegin
+        sub = lambda ev: None
+        hub.subscribe(sub)
+        hub.subscribe(sub)  # idempotent
+        assert hub.wired and hub.subscriber_count == 1
+        assert m.memsys.access is not orig_access
+        hub.unsubscribe(sub)
+        assert not hub.wired
+        assert m.memsys.access.__func__ is orig_access.__func__
+        assert m.cpus[0]._xbegin.__func__ is orig_xbegin.__func__
+        hub.unsubscribe(sub)  # safe when already gone
+
+
+class TestBitIdentity:
+    def test_off_matches_golden_pins(self):
+        stats = _gold_run()
+        assert stats.execution_cycles == GOLD_CYCLES
+        assert fingerprint(stats) == GOLD_FP
+
+    def test_on_matches_golden_pins(self):
+        tel = Telemetry()
+        stats = _gold_run(tel)
+        merged = stats.merged()
+        assert stats.execution_cycles == GOLD_CYCLES
+        assert fingerprint(stats) == GOLD_FP
+        assert merged.commits == GOLD_COMMITS
+        assert merged.total_aborts == GOLD_ABORTS
+
+    def test_timeline_matches_commit_abort_totals(self):
+        tel = Telemetry()
+        _gold_run(tel)
+        tl = tel.timeline
+        assert len(tl.committed()) == GOLD_COMMITS
+        assert len(tl.aborted()) == GOLD_ABORTS
+        assert all(s.end is not None for s in tl.spans)
+        assert tel.registry.value("run.execution_cycles") == GOLD_CYCLES
+        assert tel.registry.value("run.commits") == GOLD_COMMITS
+
+    def test_detached_after_run(self):
+        tel = Telemetry()
+        _gold_run(tel)
+        assert tel._machine is None  # runner detaches on success
+
+
+class TestChromeTrace:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        tel = Telemetry()
+        _gold_run(tel)
+        return tel
+
+    def test_validates_and_round_trips(self, traced):
+        doc = traced.trace_dict("gold")
+        assert validate_chrome_trace(doc) == []
+        again = json.loads(json.dumps(doc))
+        assert again == doc
+        assert again["displayTimeUnit"] == "ns"
+
+    def test_event_shapes(self, traced):
+        events = traced.trace_dict("gold")["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "C"} <= phases
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == GOLD_COMMITS + GOLD_ABORTS
+        assert all(e["dur"] >= 1 for e in spans)  # Perfetto rejects 0
+        assert all(isinstance(e["tid"], int) for e in events)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert {e["name"] for e in counters} == {
+            "live-set lines",
+            "signature fill",
+        }
+
+    def test_span_args_annotated(self, traced):
+        spans = [
+            e
+            for e in traced.trace_dict("gold")["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        outcomes = {e["args"]["outcome"] for e in spans}
+        assert outcomes == {"commit", "abort"}
+        aborts = [e for e in spans if e["args"]["outcome"] == "abort"]
+        assert all(e["args"]["abort_reason"] for e in aborts)
+        assert all("priority" in e["args"] for e in spans)
+
+    def test_validator_catches_bad_docs(self):
+        assert validate_chrome_trace({"traceEvents": "x"})
+        assert validate_chrome_trace(
+            {"displayTimeUnit": "ns", "traceEvents": [{"ph": "Z"}]}
+        )
+        bad_x = {
+            "displayTimeUnit": "ns",
+            "traceEvents": [
+                {"ph": "X", "name": "t", "pid": 1, "tid": 1, "ts": 0}
+            ],
+        }
+        assert any("dur" in p for p in validate_chrome_trace(bad_x))
+
+
+class TestSinks:
+    def test_json_atomic(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        write_json_atomic(path, {"a": 1}, indent=2)
+        assert json.loads(open(path, encoding="utf-8").read()) == {"a": 1}
+        assert [f for f in os.listdir(tmp_path) if ".tmp." in f] == []
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "rows.jsonl")
+        rows = [{"i": i} for i in range(5)]
+        write_jsonl_atomic(path, rows)
+        assert list(read_jsonl(path)) == rows
+
+    def test_artifact_paths_are_cache_siblings(self, tmp_path):
+        rc = RunCache(str(tmp_path))
+        key = "ab" + "0" * 62
+        base = rc.path_for(key)
+        for kind, suffix in ARTIFACT_SUFFIXES.items():
+            p = artifact_path(rc, key, kind)
+            assert p == base[: -len(".json")] + suffix
+            assert os.path.dirname(p) == os.path.dirname(base)
+        with pytest.raises(ValueError):
+            artifact_path(rc, key, "bogus")
+
+
+class TestHarnessIntegration:
+    def test_sweep_rerun_with_telemetry(self, tmp_path):
+        sweep = Sweep(
+            workloads=("intruder",),
+            systems=("LockillerTM",),
+            threads=(4,),
+            seeds=(3,),
+            scale=0.05,
+        )
+        cache = str(tmp_path / "rc")
+        out = sweep.rerun_with_telemetry(
+            cache, workload="intruder", system="LockillerTM"
+        )
+        assert set(out) == {"result", "metrics", "trace"}
+        for path in out.values():
+            assert os.path.exists(path)
+        assert os.path.dirname(out["trace"]) == os.path.dirname(out["result"])
+        doc = json.loads(open(out["trace"], encoding="utf-8").read())
+        assert validate_chrome_trace(doc) == []
+        metrics = json.loads(open(out["metrics"], encoding="utf-8").read())
+        assert metrics["run.execution_cycles"] == GOLD_CYCLES
+        # The telemetry re-run must agree with the cached result.
+        rc = RunCache(cache)
+        key = os.path.basename(out["result"])[: -len(".json")]
+        assert fingerprint(rc.get(key)) == GOLD_FP
+
+    def test_sweep_rerun_needs_exactly_one_cell(self, tmp_path):
+        sweep = Sweep(
+            workloads=("intruder",),
+            systems=("CGL", "LockillerTM"),
+            threads=(4,),
+            seeds=(3,),
+            scale=0.05,
+        )
+        with pytest.raises(KeyError):
+            sweep.rerun_with_telemetry(
+                str(tmp_path / "rc"), workload="intruder"
+            )
+
+    def test_trace_seed(self, tmp_path):
+        out = trace_seed(
+            "intruder",
+            "LockillerTM",
+            threads=4,
+            seed=3,
+            scale=0.05,
+            cache=str(tmp_path / "rc"),
+        )
+        assert set(out) == {"result", "metrics", "trace"}
+        doc = json.loads(open(out["trace"], encoding="utf-8").read())
+        assert validate_chrome_trace(doc) == []
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == GOLD_COMMITS + GOLD_ABORTS
+
+
+class TestResolveSystem:
+    def test_exact_and_alias(self):
+        assert resolve_system("LockillerTM").name == "LockillerTM"
+        assert resolve_system("lockiller").name == "LockillerTM"
+        assert resolve_system("losatm").name == "LosaTM-SAFU"
+        assert resolve_system("cgl").name == "CGL"
+
+    def test_case_insensitive_and_prefix(self):
+        assert resolve_system("baseline").name == "Baseline"
+        assert resolve_system("lockillertm-rwi").name == "LockillerTM-RWI"
+        assert resolve_system("LosaTM").name == "LosaTM-SAFU"
+
+    def test_ambiguous_and_unknown(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="ambiguous"):
+            resolve_system("LockillerTM-R")  # RAI/RRI/RWI/RWL/RWIL
+        with pytest.raises(ConfigError):
+            resolve_system("no-such-system")
+
+
+class TestCli:
+    CELL = [
+        "--workload",
+        "intruder",
+        "--system",
+        "lockiller",
+        "--cores",
+        "4",
+        "--scale",
+        "0.05",
+        "--seed",
+        "3",
+    ]
+
+    def test_timeline_stdout_round_trips(self, capsys, tmp_path):
+        out_file = str(tmp_path / "cell.trace.json")
+        assert cli_main(["timeline", *self.CELL, "--out", out_file]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_chrome_trace(doc) == []
+        assert doc == json.loads(open(out_file, encoding="utf-8").read())
+
+    def test_timeline_summary(self, capsys):
+        assert cli_main(["timeline", *self.CELL, "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "commit" in out
+
+    def test_metrics_render_and_json(self, capsys):
+        assert cli_main(["metrics", *self.CELL, "--prefix", "htm"]) == 0
+        out = capsys.readouterr().out
+        assert "htm.nack" in out
+        assert cli_main(["metrics", *self.CELL, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["run.execution_cycles"] == GOLD_CYCLES

@@ -65,6 +65,51 @@ class TestRecorder:
         assert counts.get(TraceEvent.OVERFLOW, 0) >= 1
         assert counts.get(TraceEvent.SWITCH_OK, 0) == 1
 
+    def test_stl_deny_path_recorded(self):
+        # The denial branch of the _stl_result wrap: drive the wrapped
+        # callback directly (a machine-level denial needs a racing STL
+        # owner, which is timing-fragile to stage).
+        m = make_machine([[simple_txn([1], [2])]], system="LockillerTM")
+        tracer = Tracer()
+        tracer.attach(m)
+        cpu = m.cpus[0]
+        cpu._stl_result(5, False, cpu.tx.attempt_seq)
+        records = [r for r in tracer.records]
+        assert records[-1].event is TraceEvent.SWITCH_ATTEMPT
+        assert records[-1].detail == "denied"
+        assert records[-1].time == 5
+
+    def test_fallback_entry_and_lock_begin_recorded(self):
+        prog = [[Txn([fault(persistent=True), store(line_addr(1), 1)])]]
+        _, tracer = traced_run(prog)  # Baseline: classic fallback lock
+        counts = tracer.counts()
+        assert counts[TraceEvent.FALLBACK] == 1
+        assert counts.get(TraceEvent.LOCK_BEGIN, 0) == 1
+        lock_rec = [
+            r for r in tracer.records if r.event is TraceEvent.LOCK_BEGIN
+        ][0]
+        assert lock_rec.detail == "fallback"
+
+    def test_drain_wrap_reports_waiter_count(self):
+        def prog(t):
+            return [
+                Plain([compute(3 + t)]),
+                *[
+                    Txn([load(line_addr(0)), store(line_addr(0), 1), compute(10)])
+                    for _ in range(6)
+                ],
+            ]
+
+        _, tracer = traced_run(
+            [prog(t) for t in range(4)], system="LockillerTM-RWI"
+        )
+        wakeups = [
+            r for r in tracer.records if r.event is TraceEvent.WAKEUP
+        ]
+        assert wakeups
+        assert all(r.detail.endswith("waiter(s)") for r in wakeups)
+        assert all(int(r.detail.split()[0]) >= 1 for r in wakeups)
+
     def test_capacity_bound(self):
         _, tracer = traced_run(
             [[simple_txn([i], [i]) for i in range(10)]], capacity=3
@@ -84,12 +129,74 @@ class TestRecorder:
         with pytest.raises(ValueError):
             Tracer(capacity=0)
 
-    def test_double_attach_rejected(self):
-        m = make_machine([[]])
+    def test_attach_same_machine_idempotent(self):
+        m = make_machine([[simple_txn([1], [2])]])
         tracer = Tracer()
         tracer.attach(m)
+        tracer.attach(m)  # no-op, no double-wrapping
+        m.run()
+        # Each lifecycle event recorded exactly once.
+        assert tracer.counts()[TraceEvent.TX_COMMIT] == 1
+
+    def test_attach_other_machine_rejected(self):
+        m1 = make_machine([[]])
+        m2 = make_machine([[]])
+        tracer = Tracer()
+        tracer.attach(m1)
         with pytest.raises(RuntimeError):
-            tracer.attach(m)
+            tracer.attach(m2)
+
+    def test_detach_restores_callbacks(self):
+        from repro.telemetry.events import TelemetryHub
+
+        m = make_machine([[simple_txn([1], [2])]])
+        originals = (
+            m.memsys.access,
+            m.memsys.abort_core,
+            m.drain_wakeups,
+            m.cpus[0]._xbegin,
+            m.cpus[0]._commit_done,
+        )
+        tracer = Tracer()
+        tracer.attach(m)
+        hub = TelemetryHub.of(m)
+        assert hub.wired
+        assert m.memsys.access is not originals[0]
+        tracer.detach()
+        assert not hub.wired
+        assert (
+            m.memsys.access,
+            m.memsys.abort_core,
+            m.drain_wakeups,
+            m.cpus[0]._xbegin,
+            m.cpus[0]._commit_done,
+        ) == originals
+        # Detached tracer records nothing; the machine still runs.
+        m.run()
+        assert len(tracer) == 0
+        tracer.detach()  # idempotent when not attached
+
+    def test_attach_run_detach_reattach(self):
+        m = make_machine([[simple_txn([1], [2]), simple_txn([3], [4])]])
+        first = Tracer()
+        first.attach(m)
+        first.detach()
+        second = Tracer()
+        second.attach(m)
+        m.run()
+        assert second.counts()[TraceEvent.TX_COMMIT] == 2
+        assert len(first) == 0
+
+    def test_two_tracers_share_one_set_of_wraps(self):
+        m = make_machine([[simple_txn([1], [2])]])
+        a, b = Tracer(), Tracer()
+        a.attach(m)
+        access_wrapped = m.memsys.access
+        b.attach(m)
+        # Second subscriber must not re-wrap the callbacks.
+        assert m.memsys.access is access_wrapped
+        m.run()
+        assert a.counts() == b.counts()
 
 
 class TestQueries:
