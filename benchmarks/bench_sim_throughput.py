@@ -65,19 +65,38 @@ def test_directory_miss_path(benchmark):
     assert benchmark(misses_256) > 0
 
 
+def _engine_counts(workload, config):
+    """One extra (uncounted) run to attribute events for extra_info."""
+    build = get_workload(workload).build(
+        config.threads, config.scale, config.seed
+    )
+    machine = Machine(config.params, config.spec, build.programs,
+                      seed=config.seed)
+    machine.run()
+    eng = machine.engine
+    return eng.events_processed, eng.ring_events, eng.heap_events
+
+
 def test_end_to_end_simulation_rate(benchmark):
+    config = RunConfig(
+        spec=get_system("LockillerTM"), threads=4, scale=0.1, seed=1
+    )
+
     def one_run():
-        stats = run_workload(
-            get_workload("vacation-"),
-            RunConfig(
-                spec=get_system("LockillerTM"), threads=4, scale=0.1, seed=1
-            ),
-        )
+        stats = run_workload(get_workload("vacation-"), config)
         return stats.execution_cycles
 
     cycles = benchmark(one_run)
     assert cycles > 0
+    events, ring, heap = _engine_counts("vacation-", config)
     benchmark.extra_info["simulated_cycles"] = cycles
+    benchmark.extra_info["events_processed"] = events
+    benchmark.extra_info["ring_events"] = ring
+    benchmark.extra_info["heap_events"] = heap
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["simulated_cycles_per_second"] = round(
+            cycles / benchmark.stats.stats.mean
+        )
 
 
 def test_end_to_end_with_telemetry(benchmark):
@@ -109,3 +128,53 @@ def test_end_to_end_with_telemetry(benchmark):
     assert metrics > 0
     benchmark.extra_info["simulated_cycles"] = cycles
     benchmark.extra_info["metrics_published"] = metrics
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["simulated_cycles_per_second"] = round(
+            cycles / benchmark.stats.stats.mean
+        )
+
+
+def test_compute_burst_throughput(benchmark):
+    """Burst-heavy compute-bound case: long ALU runs, few memops.
+
+    The coalescing win shows here undiluted — each transaction is
+    dominated by OP_COMPUTE chains the builder folds into single
+    engine events, so events-per-simulated-cycle is far below the
+    memory-bound cases above.
+    """
+    from repro.htm.isa import Plain, Txn, compute, load, store
+
+    def build_programs(threads=4, txs=40):
+        programs = []
+        for t in range(threads):
+            prog = []
+            for i in range(txs):
+                ops = [compute(20)]
+                for k in range(12):
+                    ops.append(compute(5 + (k % 7)))
+                ops.append(load((t * 4096 + i) << 6))
+                ops.append(compute(30))
+                ops.append(store((16384 + (i % 64)) << 6, 1))
+                ops.append(compute(15))
+                prog.append(Txn(ops, tag=f"burst-{t}-{i}"))
+                prog.append(Plain([compute(25)]))
+            programs.append(prog)
+        return programs
+
+    programs = build_programs()
+    spec = get_system("LockillerTM")
+    params = typical_params()
+
+    def one_run():
+        machine = Machine(params, spec, programs, seed=7)
+        cycles = machine.run()
+        return cycles, machine.engine.events_processed
+
+    cycles, events = benchmark(one_run)
+    assert cycles > 0
+    benchmark.extra_info["simulated_cycles"] = cycles
+    benchmark.extra_info["events_processed"] = events
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["simulated_cycles_per_second"] = round(
+            cycles / benchmark.stats.stats.mean
+        )

@@ -1,0 +1,162 @@
+"""Perf-smoke gate: compare a pytest-benchmark run against BENCH_PR5.json.
+
+Two modes, one file format:
+
+* ``snapshot`` — reduce a ``--benchmark-json`` output to the
+  machine-readable per-case summary (mean/stddev/median/min in ms plus
+  ``extra_info`` such as ``events_processed``) that lives at the repo
+  root as ``BENCH_PR5.json``.  Pass ``--before`` to fold a previous
+  snapshot's ``after_ms`` numbers in as ``before_ms`` so the artifact
+  carries its own before/after story.
+* ``check`` — compare a fresh ``--benchmark-json`` run against the
+  committed baseline and exit non-zero only on *gross* regression
+  (default: median > 25% slower).  Shared-runner timing is noisy;
+  anything subtler than that belongs in a local A/B with
+  ``python -m repro profile``, not a CI gate.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py snapshot run.json \
+        --out BENCH_PR5.json [--before OLD.json] [--label "PR 5"]
+    python benchmarks/check_perf_regression.py check run.json \
+        --baseline BENCH_PR5.json [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Optional
+
+SCHEMA = "bench-snapshot/1"
+
+#: The statistic the CI gate compares.  Median, not mean: a single
+#: scheduler hiccup on a shared runner poisons the mean of a 20-round
+#: case but barely moves the median.
+GATE_STAT = "median"
+
+
+def _stats_ms(bench: dict) -> Dict[str, float]:
+    s = bench["stats"]
+    return {
+        "mean": round(s["mean"] * 1e3, 4),
+        "stddev": round(s["stddev"] * 1e3, 4),
+        "median": round(s["median"] * 1e3, 4),
+        "min": round(s["min"] * 1e3, 4),
+        "rounds": s["rounds"],
+    }
+
+
+def load_cases(bench_json_path: str) -> Dict[str, dict]:
+    with open(bench_json_path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    cases: Dict[str, dict] = {}
+    for bench in doc.get("benchmarks", []):
+        cases[bench["name"]] = {
+            "after_ms": _stats_ms(bench),
+            "extra_info": bench.get("extra_info", {}),
+        }
+    return cases
+
+
+def snapshot(
+    bench_json: str,
+    out: str,
+    before: Optional[str],
+    label: str,
+    before_label: str,
+) -> int:
+    cases = load_cases(bench_json)
+    if before:
+        with open(before, encoding="utf-8") as fh:
+            prev = json.load(fh)
+        prev_cases = prev.get("cases", prev)
+        for name, case in cases.items():
+            old = prev_cases.get(name)
+            if not old:
+                continue
+            old_stats = old.get("after_ms") or old.get("stats_ms")
+            if not old_stats:
+                continue
+            case["before_ms"] = old_stats
+            if old_stats.get("mean"):
+                case["speedup_mean"] = round(
+                    old_stats["mean"] / case["after_ms"]["mean"], 3
+                )
+            if old_stats.get("median"):
+                case["speedup_median"] = round(
+                    old_stats["median"] / case["after_ms"]["median"], 3
+                )
+    doc = {
+        "schema": SCHEMA,
+        "label": label,
+        "before_label": before_label if before else None,
+        "gate_stat": GATE_STAT,
+        "cases": cases,
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out} ({len(cases)} cases)")
+    return 0
+
+
+def check(bench_json: str, baseline: str, tolerance: float) -> int:
+    with open(baseline, encoding="utf-8") as fh:
+        base = json.load(fh)
+    base_cases = base.get("cases", {})
+    fresh = load_cases(bench_json)
+    failures = []
+    for name, case in sorted(fresh.items()):
+        ref = base_cases.get(name)
+        if ref is None:
+            print(f"  new case (no baseline): {name}")
+            continue
+        ref_ms = ref["after_ms"][GATE_STAT]
+        got_ms = case["after_ms"][GATE_STAT]
+        ratio = got_ms / ref_ms if ref_ms else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(
+            f"  {name}: {GATE_STAT} {got_ms:.3f} ms vs baseline "
+            f"{ref_ms:.3f} ms ({ratio:.2f}x) {verdict}"
+        )
+    if failures:
+        print(
+            f"FAIL: {len(failures)} case(s) regressed more than "
+            f"{tolerance:.0%} on {GATE_STAT}: {', '.join(failures)}"
+        )
+        return 1
+    print(f"perf smoke ok (tolerance {tolerance:.0%} on {GATE_STAT})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    snap = sub.add_parser("snapshot", help="reduce a bench run to a summary")
+    snap.add_argument("bench_json")
+    snap.add_argument("--out", required=True)
+    snap.add_argument("--before", default=None,
+                      help="previous snapshot to fold in as before_ms")
+    snap.add_argument("--label", default="current")
+    snap.add_argument("--before-label", default="previous")
+
+    chk = sub.add_parser("check", help="gate a bench run against a baseline")
+    chk.add_argument("bench_json")
+    chk.add_argument("--baseline", required=True)
+    chk.add_argument("--tolerance", type=float, default=0.25)
+
+    args = parser.parse_args(argv)
+    if args.cmd == "snapshot":
+        return snapshot(args.bench_json, args.out, args.before,
+                        args.label, args.before_label)
+    return check(args.bench_json, args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

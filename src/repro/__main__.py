@@ -1,0 +1,72 @@
+"""``python -m repro`` — top-level command dispatch.
+
+Adds the performance tooling entry point::
+
+    python -m repro profile <workload> [--system S] [--threads N]
+        [--scale F] [--seed N] [--top N] [--sort cumulative|tottime]
+        [--no-coalesce]
+
+and forwards every other command (``run``, ``sweep``, ``fig*``,
+``metrics``, ``timeline``, ...) to :mod:`repro.harness.cli`, so the
+harness CLI is reachable as plain ``python -m repro run ...`` too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _profile_main(argv: List[str]) -> int:
+    from repro.harness.profiling import profile_run
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="cProfile one run and attribute events per subsystem",
+    )
+    parser.add_argument("workload", help="workload name (e.g. vacation-)")
+    parser.add_argument("--system", default="LockillerTM")
+    parser.add_argument("--threads", "--cores", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--top", type=int, default=20, help="rows in the pstats table"
+    )
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls"],
+    )
+    parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="profile the reference per-op interpreter instead",
+    )
+    args = parser.parse_args(argv)
+    report = profile_run(
+        args.workload,
+        system=args.system,
+        threads=args.threads,
+        scale=args.scale,
+        seed=args.seed,
+        top_n=args.top,
+        sort=args.sort,
+        coalesce=not args.no_coalesce,
+    )
+    print(report.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
+    from repro.harness.cli import main as cli_main
+
+    return cli_main(argv if argv else None)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

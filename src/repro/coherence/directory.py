@@ -96,6 +96,23 @@ class Directory:
     def other_copies(self, line: int, core: int) -> Set[int]:
         return {c for c in self.copies(line) if c != core}
 
+    def has_other_copies(self, line: int, core: int) -> bool:
+        """Allocation-free truthiness of :meth:`other_copies`.
+
+        The access fast path only needs *whether* another core holds the
+        line, not the set itself.
+        """
+        e = self._entries.get(line)
+        if e is None:
+            return False
+        owner = e.owner
+        if owner >= 0:
+            return owner != core
+        sharers = e.sharers
+        if not sharers:
+            return False
+        return core not in sharers or len(sharers) > 1
+
     def owner_of(self, line: int) -> int:
         e = self._entries.get(line)
         return e.owner if e is not None else -1

@@ -290,7 +290,10 @@ class MemorySystem:
         )
 
     def _pinned_pred(self, tx: TxState) -> Optional[Callable[[int], bool]]:
-        if not tx.mode.in_transaction or tx.mode is TxMode.FALLBACK:
+        # Identity checks instead of the in_transaction enum property:
+        # this runs on every private-cache insert.
+        mode = tx.mode
+        if mode is TxMode.NONE or mode is TxMode.FALLBACK:
             return None
         rs, ws = tx.read_set, tx.write_set
         if not rs and not ws:
@@ -344,7 +347,7 @@ class MemorySystem:
                 elif self.of_rd_sig.test(line):
                     if is_write:
                         conflict = True
-                    elif not self.directory.other_copies(line, core):
+                    elif not self.directory.has_other_copies(line, core):
                         # Granting exclusive data would let the requester
                         # store silently; the paper rejects this case.
                         conflict = True
@@ -546,8 +549,11 @@ class MemorySystem:
             if is_write:
                 new_state = MESI.M
             else:
-                others = self.directory.other_copies(line, core)
-                new_state = MESI.E if not others else MESI.S
+                new_state = (
+                    MESI.S
+                    if self.directory.has_other_copies(line, core)
+                    else MESI.E
+                )
             victim = outer.insert(line, new_state, pinned)
             if victim is not None:
                 if victim.was_pinned:

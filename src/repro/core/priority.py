@@ -20,7 +20,7 @@ conflict to stay consistent without rollback).
 from __future__ import annotations
 
 from repro.core.policies import PriorityKind
-from repro.htm.txstate import LOCK_PRIORITY, TxState
+from repro.htm.txstate import LOCK_PRIORITY, TxMode, TxState
 
 
 class PriorityProvider:
@@ -29,7 +29,10 @@ class PriorityProvider:
     kind = PriorityKind.NONE
 
     def priority_of(self, tx: TxState, now: int) -> int:
-        if tx.mode.is_lock_mode:
+        # Identity checks instead of mode.is_lock_mode: this runs once
+        # per holder per access and the enum-property chain showed up.
+        mode = tx.mode
+        if mode is TxMode.TL or mode is TxMode.STL:
             return LOCK_PRIORITY
         return self._speculative_priority(tx, now)
 
@@ -66,7 +69,9 @@ class InstsBasedPriority(PriorityProvider):
     kind = PriorityKind.INSTS
 
     def _speculative_priority(self, tx: TxState, now: int) -> int:
-        return tx.insts_in_attempt
+        # insts_at folds in lazily-billed coalesced compute bursts, so
+        # the value matches per-op stepping cycle for cycle.
+        return tx.insts_at(now)
 
 
 class ProgressionPriority(PriorityProvider):

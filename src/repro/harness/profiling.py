@@ -1,0 +1,194 @@
+"""Profiling harness: where does the simulator's wall time go?
+
+Two complementary views of one run:
+
+* **cProfile** over the pure hot path (build excluded, no telemetry
+  wrapping, so the numbers are the numbers the sweeps actually pay),
+  reduced to a top-N table sorted by cumulative or internal time;
+* **per-subsystem event attribution** pulled *after* the run through the
+  same ``publish_telemetry`` hooks the telemetry session uses — event
+  and message counts per subsystem (scheduler tiers, NoC, memory
+  system, arbiters) with zero in-run instrumentation overhead.
+
+This is the profiling-first loop docs/PERFORMANCE.md describes: run
+``python -m repro profile <workload>`` before and after touching a hot
+path, and let the attribution table say which subsystem moved.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.params import SystemParams, typical_params
+from repro.harness.systems import resolve_system
+from repro.sim.machine import Machine
+from repro.telemetry.registry import MetricsRegistry
+from repro.workloads.registry import get_workload
+
+#: Registry prefixes summed into the attribution table, with the
+#: counter names (per prefix) that represent "events handled".
+_SUBSYSTEM_COUNTERS = {
+    "sim": ("events_processed", "ring_events", "heap_events",
+            "heap_compactions"),
+    "noc": ("messages_sent", "flits_sent", "hops_traversed",
+            "link_stalls"),
+    "mem": None,  # None = every integer counter under the prefix
+    "dir": None,
+    "htm": None,
+    "lock": None,
+    "lock_tx": None,
+}
+
+
+@dataclass
+class ProfileReport:
+    """One profiled run, ready to render or post-process."""
+
+    workload: str
+    system: str
+    threads: int
+    scale: float
+    seed: int
+    wall_seconds: float
+    execution_cycles: int
+    events_processed: int
+    #: subsystem -> {counter: value} pulled from publish_telemetry.
+    subsystems: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Rendered pstats table (top-N rows).
+    stats_text: str = ""
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
+
+    @property
+    def cycles_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.execution_cycles / self.wall_seconds
+
+    def render(self) -> str:
+        head = (
+            f"profile: {self.workload} on {self.system} "
+            f"({self.threads} threads, scale {self.scale}, "
+            f"seed {self.seed})\n"
+            f"wall {self.wall_seconds * 1e3:.1f} ms | "
+            f"{self.execution_cycles} simulated cycles "
+            f"({self.cycles_per_second:,.0f}/s) | "
+            f"{self.events_processed} events "
+            f"({self.events_per_second:,.0f}/s)"
+        )
+        lines = [head, "", "-- per-subsystem event counts --"]
+        for name in sorted(self.subsystems):
+            counters = self.subsystems[name]
+            total = sum(counters.values())
+            lines.append(f"{name:>10s}  total {total}")
+            for key in sorted(counters):
+                lines.append(f"{'':>12s}{key:<24s}{counters[key]}")
+        lines += ["", "-- hottest functions --", self.stats_text.rstrip()]
+        return "\n".join(lines)
+
+
+def subsystem_breakdown(
+    snapshot: Dict[str, object]
+) -> Dict[str, Dict[str, int]]:
+    """Group a registry snapshot into per-subsystem integer counters.
+
+    Only counter-like integers are kept — gauges carrying strings,
+    ratios, or per-link detail (dotted names below the second level)
+    are attribution noise, not event counts.
+    """
+    out: Dict[str, Dict[str, int]] = {}
+    for prefix, wanted in _SUBSYSTEM_COUNTERS.items():
+        dotted = prefix + "."
+        counters: Dict[str, int] = {}
+        for name, value in snapshot.items():
+            if not name.startswith(dotted):
+                continue
+            key = name[len(dotted):]
+            # Skip per-instance detail (dir.bank.3.*, noc.link.0_1.*):
+            # attribution wants subsystem totals, not fan-out.
+            if any(
+                part.isdigit() or part.replace("_", "").isdigit()
+                for part in key.split(".")
+            ):
+                continue
+            if wanted is not None and key not in wanted:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            if value < 0:  # id-style gauges (owner -1), not counts
+                continue
+            counters[key] = value
+        if counters:
+            out[prefix] = counters
+    return out
+
+
+def profile_run(
+    workload: str,
+    system: str = "LockillerTM",
+    threads: int = 4,
+    scale: float = 0.1,
+    seed: int = 1,
+    params: Optional[SystemParams] = None,
+    top_n: int = 20,
+    sort: str = "cumulative",
+    coalesce: bool = True,
+) -> ProfileReport:
+    """Profile one (workload, system) cell and attribute its events.
+
+    The workload is built *outside* the profiled region (builds are
+    one-time costs amortized across sweep points); the Machine
+    construction and run are inside it.  ``sort`` is any pstats key
+    (``cumulative``, ``tottime``, ...).
+    """
+    spec = resolve_system(system)
+    if params is None:
+        params = typical_params()
+    build = get_workload(workload).build(threads, scale, seed)
+
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    machine = Machine(
+        params, spec, build.programs, seed=seed, coalesce=coalesce
+    )
+    cycles = machine.run()
+    profiler.disable()
+    wall = time.perf_counter() - t0
+
+    registry = MetricsRegistry()
+    machine.publish_telemetry(registry)
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(sort).print_stats(top_n)
+    # Drop pstats' preamble (path spam) but keep the column table.
+    text_lines = stream.getvalue().splitlines()
+    start = 0
+    for i, line in enumerate(text_lines):
+        if line.lstrip().startswith("ncalls"):
+            start = i
+            break
+    stats_text = "\n".join(text_lines[start:])
+
+    return ProfileReport(
+        workload=workload,
+        system=spec.name,
+        threads=threads,
+        scale=scale,
+        seed=seed,
+        wall_seconds=wall,
+        execution_cycles=cycles,
+        events_processed=machine.engine.events_processed,
+        subsystems=subsystem_breakdown(registry.snapshot()),
+        stats_text=stats_text,
+    )

@@ -33,6 +33,7 @@ Opcodes
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import List, Sequence, Tuple
 
 OP_COMPUTE = 0
@@ -77,6 +78,9 @@ def fault(persistent: bool = False) -> Op:
     return (OP_FAULT, 1 if persistent else 0, 0)
 
 
+_OP0 = itemgetter(0)
+
+
 @dataclass
 class Segment:
     """Base class for program segments."""
@@ -84,7 +88,23 @@ class Segment:
     ops: List[Op]
 
     def __post_init__(self) -> None:
-        for op in self.ops:
+        # Structural validation at C speed: three map/set sweeps instead
+        # of a per-op Python loop (workload builds create tens of
+        # thousands of ops per program).  Only a failed sweep pays for
+        # the precise per-op error below.
+        ops = self.ops
+        if not ops:
+            return
+        try:
+            if (
+                set(map(type, ops)) == {tuple}
+                and set(map(len, ops)) == {3}
+                and set(map(_OP0, ops)).issubset(OP_NAMES)
+            ):
+                return
+        except Exception:
+            pass
+        for op in ops:
             if not (isinstance(op, tuple) and len(op) == 3):
                 raise ValueError(f"malformed op {op!r}")
             if op[0] not in OP_NAMES:
@@ -109,10 +129,6 @@ class Txn(Segment):
 
     tag: str = ""
 
-    def __post_init__(self) -> None:
-        super().__post_init__()
-        if any(op[0] == OP_FAULT for op in self.ops) and not self.ops:
-            raise ValueError("fault in empty txn")
 
     def read_lines(self) -> set:
         """Distinct cache lines read (including RMW stores)."""
@@ -123,6 +139,61 @@ class Txn(Segment):
 
 
 Program = List[Segment]
+
+#: One coalesced burst: ``(compute_cycles, steps, terminal_op, last_step)``.
+#:
+#: * ``compute_cycles`` — total OP_COMPUTE cycles elided into the burst;
+#: * ``steps`` — tuple of ``(offset, n)`` pairs, one per elided compute
+#:   op: the op starts ``offset`` cycles after the burst's anchor and
+#:   retires ``n`` instructions ``n`` cycles later (prefix sums, so
+#:   ``offset + n`` is the next op's offset);
+#: * ``terminal_op`` — the memop/fault ending the burst, or ``None`` for
+#:   a trailing compute-only burst at the end of a segment;
+#: * ``last_step`` — cycle count of the final elided compute (0 when
+#:   ``steps`` is empty): the interval between the last elided
+#:   continuation's allocation and the burst event's fire time, i.e. the
+#:   ``fire - vdelay`` gap the CPU passes to the engine so same-cycle
+#:   ordering matches the uncoalesced event chain bit-for-bit.
+Burst = Tuple[int, Tuple[Tuple[int, int], ...], "Op | None", int]
+
+
+def coalesce_ops(ops: Sequence[Op]) -> Tuple[Burst, ...]:
+    """Flatten an op stream into compute bursts.
+
+    Each burst is a (possibly empty) run of OP_COMPUTE ops followed by
+    at most one terminal memop/fault.  The CPU model schedules one
+    continuation per burst instead of one per op; ``steps`` preserves
+    every elided boundary so instruction retirement (priority input) and
+    abort/replay points are bit-identical to uncoalesced stepping.
+    """
+    bursts: List[Burst] = []
+    c = 0
+    steps: List[Tuple[int, int]] = []
+    for op in ops:
+        if op[0] == OP_COMPUTE:
+            steps.append((c, op[1]))
+            c += op[1]
+        else:
+            bursts.append((c, tuple(steps), op, steps[-1][1] if steps else 0))
+            c = 0
+            steps = []
+    if steps:
+        bursts.append((c, tuple(steps), None, steps[-1][1]))
+    return tuple(bursts)
+
+
+def segment_bursts(segment: Segment) -> Tuple[Burst, ...]:
+    """Cached :func:`coalesce_ops` over a segment's ops.
+
+    The cache lives on the segment instance (programs are built once and
+    replayed across attempts/sweep points), keyed implicitly by identity
+    — segments are not mutated after build.
+    """
+    cached = getattr(segment, "_bursts", None)
+    if cached is None:
+        cached = coalesce_ops(segment.ops)
+        segment._bursts = cached
+    return cached
 
 
 def program_stats(program: Sequence[Segment]) -> dict:

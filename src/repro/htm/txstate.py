@@ -68,6 +68,8 @@ class TxState:
         "switch_attempted",
         "switched",
         "last_write_count",
+        "pending_anchor",
+        "pending_steps",
     )
 
     def __init__(self, core: int) -> None:
@@ -87,6 +89,14 @@ class TxState:
         self.switched = False
         #: Write-set size captured at abort time (rollback cost model).
         self.last_write_count = 0
+        #: Lazily-billed compute burst in flight (coalesced stepping):
+        #: the burst's elided computes retire at ``pending_anchor +
+        #: offset + n`` for each ``(offset, n)`` step but are only folded
+        #: into :attr:`insts_in_attempt` when the burst event fires.
+        #: ``None`` anchor means no burst in flight (uncoalesced mode
+        #: never sets one, keeping :meth:`insts_at` a plain field read).
+        self.pending_anchor = None
+        self.pending_steps = ()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -106,6 +116,8 @@ class TxState:
         self.abort_reason = None
         self.switch_attempted = False
         self.switched = False
+        self.pending_anchor = None
+        self.pending_steps = ()
 
     def switch_to_stl(self) -> None:
         """SwitchingMode success: HTM -> STL keeping all current state."""
@@ -122,6 +134,27 @@ class TxState:
         self.write_buffer.clear()
         self.aborted = False
         self.abort_reason = None
+        self.pending_anchor = None
+        self.pending_steps = ()
+
+    def insts_at(self, now: int) -> int:
+        """Instructions retired by cycle ``now`` in the current attempt.
+
+        With a coalesced compute burst in flight this adds the elided
+        computes that would already have been billed by ``now`` under
+        uncoalesced stepping: per-op execution bills a compute's ``n``
+        instructions when the op's event *fires* (at ``anchor + off``),
+        before sleeping ``n`` cycles — so the insts-based conflict
+        priority sees exactly the values it would have seen per-op.
+        """
+        anchor = self.pending_anchor
+        total = self.insts_in_attempt
+        if anchor is None:
+            return total
+        for off, n in self.pending_steps:
+            if anchor + off <= now:
+                total += n
+        return total
 
     def mark_aborted(self, reason) -> None:
         self.aborted = True

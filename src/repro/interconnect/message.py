@@ -50,9 +50,20 @@ class MsgType(Enum):
 
     @property
     def msg_class(self) -> MessageClass:
-        if self in (MsgType.DATA_EXCLUSIVE, MsgType.DATA_SHARED, MsgType.PUTM):
-            return MessageClass.DATA
-        return MessageClass.CONTROL
+        return MSG_CLASS[self]
+
+
+#: Flat MsgType -> MessageClass table.  Hot paths (NetworkModel pricing)
+#: index this directly instead of going through the ``msg_class``
+#: property chain (descriptor lookup + enum membership test per call).
+MSG_CLASS = {
+    t: (
+        MessageClass.DATA
+        if t in (MsgType.DATA_EXCLUSIVE, MsgType.DATA_SHARED, MsgType.PUTM)
+        else MessageClass.CONTROL
+    )
+    for t in MsgType
+}
 
 
 @dataclass(frozen=True)

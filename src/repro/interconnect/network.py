@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.common.params import NetworkParams
-from repro.interconnect.message import MessageClass, MsgType
+from repro.interconnect.message import MSG_CLASS, MessageClass, MsgType
 from repro.interconnect.topology import MeshTopology
 
 
@@ -37,6 +37,12 @@ class NetworkModel:
         "_per_hop",
         "_data_tail",
         "_ctrl_tail",
+        "_hops_table",
+        "_n_tiles",
+        "_stateless",
+        "_lat_by_hops",
+        "_ctrl_by_hops",
+        "_data_by_hops",
         "messages_sent",
         "flits_sent",
         "hops_traversed",
@@ -52,6 +58,31 @@ class NetworkModel:
         self._per_hop = params.link_latency + params.router_latency
         self._data_tail = params.data_flits - 1
         self._ctrl_tail = params.control_flits - 1
+        # Flat hop table shared with the topology (one load instead of a
+        # method call per message).
+        self._hops_table = topology._hops
+        self._n_tiles = topology.num_tiles
+        #: No link contention is modeled — latency is a pure function of
+        #: (hops, class), so it can be memoized once per geometry.
+        self._stateless = not params.model_contention
+        self._lat_by_hops = {
+            cls: [
+                (
+                    params.router_latency + tail
+                    if h == 0
+                    else h * self._per_hop + tail
+                )
+                for h in range(topology.max_hops + 1)
+            ]
+            for cls, tail in (
+                (MessageClass.CONTROL, self._ctrl_tail),
+                (MessageClass.DATA, self._data_tail),
+            )
+        }
+        # Direct per-class aliases: the dominant call sites know their
+        # class statically, so they can skip the enum-keyed dict hop.
+        self._ctrl_by_hops = self._lat_by_hops[MessageClass.CONTROL]
+        self._data_by_hops = self._lat_by_hops[MessageClass.DATA]
         self.messages_sent = 0
         self.flits_sent = 0
         self.hops_traversed = 0
@@ -66,23 +97,22 @@ class NetworkModel:
 
     def latency(self, src_tile: int, dst_tile: int, msg_class: MessageClass) -> int:
         """Cycles for one message from ``src_tile`` to ``dst_tile``."""
-        hops = self.topology.hops(src_tile, dst_tile)
-        tail = (
-            self._data_tail
-            if msg_class is MessageClass.DATA
-            else self._ctrl_tail
-        )
-        flits = tail + 1
-        self.messages_sent += 1
-        self.flits_sent += flits
-        self.hops_traversed += hops
-        if self.params.model_contention:
-            lat = self._traverse(src_tile, dst_tile, flits, tail)
-        elif hops == 0:
-            # Local delivery still crosses the tile's router once.
-            lat = self.params.router_latency + tail
+        hops = self._hops_table[src_tile * self._n_tiles + dst_tile]
+        if msg_class is MessageClass.DATA:
+            tail = self._data_tail
         else:
-            lat = hops * self._per_hop + tail
+            tail = self._ctrl_tail
+        self.messages_sent += 1
+        self.flits_sent += tail + 1
+        self.hops_traversed += hops
+        if self._stateless:
+            # Memoized default path: latency is a pure (hops, class)
+            # function when no contention or chaos is armed.
+            lat = self._lat_by_hops[msg_class][hops]
+            if self.chaos is None:
+                return lat
+            return self.chaos(lat)
+        lat = self._traverse(src_tile, dst_tile, tail + 1, tail)
         if self.chaos is not None:
             lat = self.chaos(lat)
         return lat
@@ -125,13 +155,43 @@ class NetworkModel:
             noc.set(f"link.{a}_{b}.busy_until", busy_until)
 
     def latency_for(self, src_tile: int, dst_tile: int, mtype: MsgType) -> int:
-        return self.latency(src_tile, dst_tile, mtype.msg_class)
+        return self.latency(src_tile, dst_tile, MSG_CLASS[mtype])
 
     def control_latency(self, src_tile: int, dst_tile: int) -> int:
-        return self.latency(src_tile, dst_tile, MessageClass.CONTROL)
+        # Statically-classed twin of latency(): identical counter updates
+        # and pricing, minus the per-call MessageClass dispatch.
+        hops = self._hops_table[src_tile * self._n_tiles + dst_tile]
+        self.messages_sent += 1
+        self.flits_sent += self._ctrl_tail + 1
+        self.hops_traversed += hops
+        if self._stateless:
+            lat = self._ctrl_by_hops[hops]
+            if self.chaos is None:
+                return lat
+            return self.chaos(lat)
+        lat = self._traverse(
+            src_tile, dst_tile, self._ctrl_tail + 1, self._ctrl_tail
+        )
+        if self.chaos is not None:
+            lat = self.chaos(lat)
+        return lat
 
     def data_latency(self, src_tile: int, dst_tile: int) -> int:
-        return self.latency(src_tile, dst_tile, MessageClass.DATA)
+        hops = self._hops_table[src_tile * self._n_tiles + dst_tile]
+        self.messages_sent += 1
+        self.flits_sent += self._data_tail + 1
+        self.hops_traversed += hops
+        if self._stateless:
+            lat = self._data_by_hops[hops]
+            if self.chaos is None:
+                return lat
+            return self.chaos(lat)
+        lat = self._traverse(
+            src_tile, dst_tile, self._data_tail + 1, self._data_tail
+        )
+        if self.chaos is not None:
+            lat = self.chaos(lat)
+        return lat
 
     def round_trip(self, a: int, b: int) -> int:
         """Control request + data response between two tiles."""

@@ -14,11 +14,16 @@ from typing import Iterator, List, Tuple
 from repro.common.errors import ConfigError
 from repro.common.params import NetworkParams
 
+#: Hop tables are pure geometry, so one table per (cols, rows) shape
+#: serves every Machine ever built — sweeps construct thousands of
+#: same-shaped topologies and the table build showed up in init profiles.
+_HOPS_CACHE: dict = {}
+
 
 class MeshTopology:
     """Geometry queries over the tiled mesh."""
 
-    __slots__ = ("cols", "rows", "_hops")
+    __slots__ = ("cols", "rows", "num_tiles", "max_hops", "_hops")
 
     def __init__(self, params: NetworkParams) -> None:
         if params.mesh_cols <= 0 or params.mesh_rows <= 0:
@@ -26,20 +31,23 @@ class MeshTopology:
         self.cols = params.mesh_cols
         self.rows = params.mesh_rows
         n = self.cols * self.rows
-        # Precompute the full hop matrix; n is small (32 tiles) and this
-        # removes divmod from the per-message hot path.
-        self._hops: List[List[int]] = [
-            [
+        self.num_tiles = n
+        #: Mesh diameter (corner to corner) — sizes latency memo tables.
+        self.max_hops = (self.cols - 1) + (self.rows - 1)
+        # Precompute the full hop matrix as one flat row-major table
+        # (hops[src * n + dst]); n is small (32 tiles) and this removes
+        # divmod — and one level of list indirection — from the
+        # per-message hot path.  NetworkModel indexes it directly.
+        table = _HOPS_CACHE.get((self.cols, self.rows))
+        if table is None:
+            table = [
                 abs(a % self.cols - b % self.cols)
                 + abs(a // self.cols - b // self.cols)
+                for a in range(n)
                 for b in range(n)
             ]
-            for a in range(n)
-        ]
-
-    @property
-    def num_tiles(self) -> int:
-        return self.cols * self.rows
+            _HOPS_CACHE[(self.cols, self.rows)] = table
+        self._hops: List[int] = table
 
     def coords(self, tile: int) -> Tuple[int, int]:
         """(x, y) position of ``tile`` on the grid."""
@@ -54,10 +62,12 @@ class MeshTopology:
     def hops(self, src: int, dst: int) -> int:
         """Manhattan hop count between two tiles (X-Y route length).
 
-        Hot path: called per message; bounds are enforced by the matrix
-        lookup itself (IndexError on garbage), not re-checked.
+        Hot path: called per message; bounds are enforced by the table
+        lookup itself (IndexError on garbage), not re-checked.  Note
+        ``src`` of garbage with small ``dst`` could alias a valid index;
+        all call sites pass tile ids produced by the topology itself.
         """
-        return self._hops[src][dst]
+        return self._hops[src * self.num_tiles + dst]
 
     def route(self, src: int, dst: int) -> List[int]:
         """The exact tile sequence an X-Y-routed message traverses."""

@@ -28,12 +28,35 @@ from repro.common.rng import SplitMix64, derive_seed
 from repro.common.stats import AbortReason, CoreStats, TimeCat
 from repro.coherence.memsys import GRANT, OVERFLOW, REJECT, AccessResult
 from repro.core.policies import RequesterPolicy
-from repro.htm.isa import OP_COMPUTE, OP_FAULT, OP_STORE, Plain, Txn
+from repro.htm.isa import (
+    OP_COMPUTE,
+    OP_FAULT,
+    OP_STORE,
+    Plain,
+    Txn,
+    segment_bursts,
+)
 from repro.htm.txstate import TxMode, TxState
 
 
 class CPU:
-    """One in-order, single-issue core."""
+    """One in-order, single-issue core.
+
+    Two stepping strategies share all control-flow machinery (entry,
+    retry, abort, fallback, commit):
+
+    * **per-op** (``coalesce=False``) — one engine event per micro-op,
+      the reference semantics;
+    * **burst** (``coalesce=True``, default) — runs of OP_COMPUTE are
+      folded into the delay of the following memop's continuation
+      (:func:`~repro.htm.isa.segment_bursts`), cutting event volume
+      roughly in half on compute-heavy programs.  Bit-identity with
+      per-op stepping is preserved by (a) passing the elided chain's
+      last allocation point as the event's virtual time (engine
+      ``vtime`` ordering), (b) billing elided instructions lazily via
+      ``TxState.insts_at``, and (c) re-materializing the elided abort
+      observation boundary in :meth:`note_external_abort`.
+    """
 
     def __init__(self, core: int, tile: int, machine, program, seed: int) -> None:
         self.core = core
@@ -67,6 +90,22 @@ class CPU:
         #: Fault ops already taken once (page mapped after first trip).
         self._faults_taken: Set[Tuple[int, int]] = set()
 
+        #: Burst-coalesced stepping (see class docstring).  ``op_idx``
+        #: indexes bursts instead of ops in this mode.
+        self.coalesce: bool = machine.coalesce
+        if self.coalesce:
+            self._bursts = [segment_bursts(seg) for seg in program]
+            self._step_fn = self._tx_step_burst
+        else:
+            self._bursts = None
+            self._step_fn = self._tx_step
+        #: Cancellable token of the in-flight burst continuation (only
+        #: set while elided compute boundaries exist to checkpoint).
+        self._burst_token = None
+        #: Time the in-flight burst's chain was allocated (the vtime of
+        #: its first elided boundary).
+        self._burst_alloc = 0
+
     # ------------------------------------------------------------------
     # Billing helpers
     # ------------------------------------------------------------------
@@ -93,6 +132,8 @@ class CPU:
         seg = self.program[self.seg_idx]
         if isinstance(seg, Txn):
             self._txn_entry(now)
+        elif self.coalesce:
+            self._plain_entry(now)
         else:
             self.op_idx = 0
             self._plain_step(now, now)
@@ -160,6 +201,69 @@ class CPU:
         else:
             self.stats.loads += 1
 
+    # -- coalesced plain stepping ------------------------------------------
+
+    def _plain_entry(self, now: int) -> None:
+        self.op_idx = 0
+        bursts = self._bursts[self.seg_idx]
+        if bursts and bursts[0][0]:
+            c, _steps, _op, c_last = bursts[0]
+            self.engine.schedule_after_virtual_nocancel(
+                c, lambda t: self._plain_burst(t, now), c - c_last
+            )
+        else:
+            # Leading memop (or empty segment): issue in this event,
+            # exactly as per-op stepping does.
+            self._plain_burst(now, now)
+
+    def _plain_advance(self, now: int, lat: int, span_t0: int) -> None:
+        """Schedule the next burst's terminal ``lat`` + computes away."""
+        bursts = self._bursts[self.seg_idx]
+        idx = self.op_idx
+        if idx < len(bursts):
+            c, _steps, _op, c_last = bursts[idx]
+        else:
+            c = 0
+            c_last = 0
+        self.engine.schedule_after_virtual_nocancel(
+            lat + c,
+            lambda t: self._plain_burst(t, span_t0),
+            lat + c - c_last,
+        )
+
+    def _plain_burst(self, now: int, span_t0: int) -> None:
+        bursts = self._bursts[self.seg_idx]
+        if self.op_idx >= len(bursts):
+            self._bill(TimeCat.NON_TRAN, now - span_t0)
+            self._segment_done(now)
+            return
+        _c, _steps, op, _c_last = bursts[self.op_idx]
+        if op is None:
+            # Trailing compute-only burst: its cycles elapsed getting
+            # here; the segment is done in this same event.
+            self.op_idx += 1
+            self._bill(TimeCat.NON_TRAN, now - span_t0)
+            self._segment_done(now)
+            return
+        kind = op[0]
+        if kind == OP_FAULT:
+            self.op_idx += 1
+            self._plain_advance(now, self.htm_params.trap_latency, span_t0)
+            return
+        is_write = kind == OP_STORE
+        res = self.memsys.access(self.core, op[1], is_write, now)
+        if res.status == GRANT:
+            self._apply_functional(op, is_write)
+            self.op_idx += 1
+            self._plain_advance(now, res.latency, span_t0)
+        elif res.status == REJECT:
+            delay = res.latency + self.htm_params.plain_retry_delay
+            self.engine.schedule_after_nocancel(
+                delay, lambda t: self._plain_burst(t, span_t0)
+            )
+        else:  # pragma: no cover - plain accesses cannot overflow
+            raise SimulationError("plain access reported overflow")
+
     # ------------------------------------------------------------------
     # Critical-section entry
     # ------------------------------------------------------------------
@@ -186,7 +290,17 @@ class CPU:
         self._bill(TimeCat.WAITLOCK, now - wait_t0)
         self.stats.tx_attempts += 1
         self.op_idx = 0
-        self._cgl_step(now, crit_t0=now)
+        if self.coalesce:
+            bursts = self._bursts[self.seg_idx]
+            if bursts and bursts[0][0]:
+                c, _steps, _op, c_last = bursts[0]
+                self.engine.schedule_after_virtual_nocancel(
+                    c, lambda t: self._cgl_burst(t, now), c - c_last
+                )
+            else:
+                self._cgl_burst(now, now)
+        else:
+            self._cgl_step(now, crit_t0=now)
 
     def _cgl_step(self, now: int, crit_t0: int) -> None:
         seg = self.program[self.seg_idx]
@@ -222,6 +336,48 @@ class CPU:
                 res.latency, lambda t: self._cgl_step(t, crit_t0)
             )
 
+    def _cgl_advance(self, now: int, lat: int, crit_t0: int) -> None:
+        bursts = self._bursts[self.seg_idx]
+        idx = self.op_idx
+        if idx < len(bursts):
+            c, _steps, _op, c_last = bursts[idx]
+        else:
+            c = 0
+            c_last = 0
+        self.engine.schedule_after_virtual_nocancel(
+            lat + c,
+            lambda t: self._cgl_burst(t, crit_t0),
+            lat + c - c_last,
+        )
+
+    def _cgl_burst(self, now: int, crit_t0: int) -> None:
+        bursts = self._bursts[self.seg_idx]
+        at_end = self.op_idx >= len(bursts)
+        if not at_end:
+            _c, _steps, op, _c_last = bursts[self.op_idx]
+            if op is None:
+                self.op_idx += 1
+                at_end = True
+        if at_end:
+            self.machine.global_lock.release(self.core, now)
+            self._bill(TimeCat.LOCK, now - crit_t0)
+            self.stats.commit_latency_hist.record(now - crit_t0)
+            self.stats.commits_lock += 1
+            self._segment_done(now)
+            return
+        kind = op[0]
+        if kind == OP_FAULT:
+            self.op_idx += 1
+            self._cgl_advance(now, self.htm_params.trap_latency, crit_t0)
+            return
+        is_write = kind == OP_STORE
+        res = self.memsys.access(self.core, op[1], is_write, now)
+        if res.status != GRANT:  # pragma: no cover - no HTM holders
+            raise SimulationError("CGL access was not granted")
+        self._apply_functional(op, is_write)
+        self.op_idx += 1
+        self._cgl_advance(now, res.latency, crit_t0)
+
     # -- HTM attempt (Listing 1 loop) -------------------------------------
 
     def _tx_try(self, now: int) -> None:
@@ -245,9 +401,12 @@ class CPU:
         self.stats.tx_attempts += 1
         self._attempt_t0 = now
         self.op_idx = 0
-        self.engine.schedule_after(
-            self.htm_params.xbegin_latency, self._tx_step
-        )
+        if self.coalesce:
+            self._advance_burst(now, self.htm_params.xbegin_latency)
+        else:
+            self.engine.schedule_after(
+                self.htm_params.xbegin_latency, self._tx_step
+            )
 
     def _tx_step(self, now: int) -> None:
         if self.done:
@@ -282,6 +441,131 @@ class CPU:
             else:
                 self._on_overflow(now)
 
+    # -- coalesced transactional stepping ----------------------------------
+
+    def _advance_burst(self, now: int, lat: int) -> None:
+        """Schedule the continuation issuing burst ``op_idx``'s terminal.
+
+        ``lat`` is the memory/begin latency preceding the burst; the
+        burst's elided computes extend the delay.  When boundaries are
+        elided the entry is cancellable (an external abort may need to
+        checkpoint at one of them) and the burst is exposed on the
+        TxState for lazy instruction billing; otherwise the event is
+        identical to per-op stepping and takes the no-allocation path.
+        """
+        bursts = self._bursts[self.seg_idx]
+        idx = self.op_idx
+        steps = ()
+        c = 0
+        c_last = 0
+        if idx < len(bursts):
+            c, steps, _op, c_last = bursts[idx]
+        if steps:
+            tx = self.tx
+            tx.pending_anchor = now + lat
+            tx.pending_steps = steps
+            self._burst_alloc = now
+            self._burst_token = self.engine.schedule_after_virtual(
+                lat + c, self._tx_step_burst, lat + c - c_last
+            )
+        else:
+            self.engine.schedule_after_nocancel(lat, self._tx_step_burst)
+
+    def _tx_step_burst(self, now: int) -> None:
+        if self.done:
+            return
+        tx = self.tx
+        self._burst_token = None
+        if tx.pending_anchor is not None:
+            # Fold the lazily-billed computes of the burst that just
+            # completed (every boundary is <= now here).
+            for _off, n in tx.pending_steps:
+                tx.insts_in_attempt += n
+            tx.pending_anchor = None
+            tx.pending_steps = ()
+        if tx.aborted:
+            self._rollback(now)
+            return
+        bursts = self._bursts[self.seg_idx]
+        if self.op_idx >= len(bursts):
+            self._tx_commit(now)
+            return
+        _c, _steps, op, _c_last = bursts[self.op_idx]
+        if op is None:
+            # Trailing compute-only burst: commit in this same event.
+            self.op_idx += 1
+            self._tx_commit(now)
+            return
+        kind = op[0]
+        if kind == OP_FAULT:
+            self._tx_fault(now, op)
+            return
+        is_write = kind == OP_STORE
+        res = self.memsys.access(self.core, op[1], is_write, now)
+        if res.status == GRANT:
+            self._apply_functional(op, is_write)
+            self.op_idx += 1
+            tx.insts_in_attempt += 1
+            self._advance_burst(now, res.latency)
+        elif res.status == REJECT:
+            self._on_reject(now, res)
+        else:
+            self._on_overflow(now)
+
+    def note_external_abort(self, now: int) -> None:
+        """Re-create the abort observation point a burst elided.
+
+        Per-op, an externally-aborted transaction notices its abort
+        flag at its next scheduled event.  With the burst's per-compute
+        continuations elided, find the first boundary the per-op chain
+        would still have fired at (strictly after ``now``, or at ``now``
+        if the boundary's virtual allocation time says it would have
+        fired after the aborting event) and schedule the rollback
+        checkpoint there, carrying the boundary's original virtual time
+        so same-cycle ordering of the rollback — billing, backoff RNG
+        draw, retry scheduling — is bit-identical to per-op stepping.
+        """
+        tx = self.tx
+        anchor = tx.pending_anchor
+        if anchor is None:
+            # Parked, blocked on arbitration, or the continuation is an
+            # ordinary event: the legacy observation paths cover it.
+            return
+        vprev = self._burst_alloc
+        target = None
+        for off, _n in tx.pending_steps:
+            b = anchor + off
+            if b > now or (b == now and vprev >= self.engine.now_vtime):
+                target = (b, vprev)
+                break
+            vprev = b
+        if target is None:
+            return  # past every elided boundary: the live event observes
+        b, vtime = target
+        tok = self._burst_token
+        if tok is not None:
+            tok.cancel()
+            self._burst_token = None
+        tx.pending_anchor = None
+        tx.pending_steps = ()
+        attempt_seq = tx.attempt_seq
+        self.engine.schedule_after_virtual_nocancel(
+            b - now,
+            lambda t: self._abort_checkpoint(t, attempt_seq),
+            vtime - now,
+        )
+
+    def _abort_checkpoint(self, now: int, attempt_seq: int) -> None:
+        tx = self.tx
+        if (
+            self.done
+            or tx.attempt_seq != attempt_seq
+            or not tx.aborted
+            or tx.mode is not TxMode.HTM
+        ):
+            return
+        self._rollback(now)
+
     # -- faults ------------------------------------------------------------
 
     def _tx_fault(self, now: int, op) -> None:
@@ -315,13 +599,19 @@ class CPU:
                 return
             self.op_idx += 1
             self.tx.insts_in_attempt += 1
-            self.engine.schedule_after(1, self._tx_step)
+            if self.coalesce:
+                self._advance_burst(now, 1)
+            else:
+                self.engine.schedule_after(1, self._tx_step)
         else:
             # Lock modes are non-speculative: take the trap and continue.
             self.op_idx += 1
-            self.engine.schedule_after(
-                self.htm_params.trap_latency, self._tx_step
-            )
+            if self.coalesce:
+                self._advance_burst(now, self.htm_params.trap_latency)
+            else:
+                self.engine.schedule_after(
+                    self.htm_params.trap_latency, self._tx_step
+                )
 
     # -- rejection handling (§III-A requester options) ----------------------
 
@@ -350,7 +640,7 @@ class CPU:
                 # learns it was rejected and re-issues the access after
                 # a hardware timeout.
                 self.engine.schedule_after(
-                    res.latency + chaos.plan.nack_loss_delay, self._tx_step
+                    res.latency + chaos.plan.nack_loss_delay, self._step_fn
                 )
                 return
         policy = self.spec.requester_policy
@@ -369,7 +659,7 @@ class CPU:
                 + self.htm_params.retry_delay
                 + self.rng.below(self.htm_params.retry_delay)
             )
-            self.engine.schedule_after(delay, self._tx_step)
+            self.engine.schedule_after(delay, self._step_fn)
         else:  # WAIT_WAKEUP
             self._park(now, res.reject_holder)
 
@@ -403,13 +693,13 @@ class CPU:
         self._parked = None
         if timeout:
             self.stats.wakeup_timeouts += 1
-        self._tx_step(now)  # re-issues the same op (or handles abort)
+        self._step_fn(now)  # re-issues the same op (or handles abort)
 
     def force_unpark(self, now: int) -> None:
         """External abort while parked: resume so the abort is processed."""
         if self._parked is not None:
             self._parked = None
-            self.engine.schedule_after(1, self._tx_step)
+            self.engine.schedule_after(1, self._step_fn)
 
     @property
     def is_parked(self) -> bool:
@@ -453,7 +743,7 @@ class CPU:
         if granted:
             self.stats.switch_successes += 1
             tx.switch_to_stl()
-            self._tx_step(now)  # re-issue the blocked op in STL mode
+            self._step_fn(now)  # re-issue the blocked op in STL mode
         else:
             if deny_reason is AbortReason.FAULT:
                 # The exception will be taken on the retry/fallback path;
@@ -475,6 +765,10 @@ class CPU:
 
     def _rollback(self, now: int) -> None:
         tx = self.tx
+        tok = self._burst_token
+        if tok is not None:  # defensive: an in-flight burst dies with us
+            tok.cancel()
+            self._burst_token = None
         reason = tx.abort_reason or AbortReason.EXPLICIT
         self.stats.aborts[reason] += 1
         self._bill(TimeCat.ABORTED, now - self._attempt_t0)
@@ -535,7 +829,14 @@ class CPU:
             self.stats.tx_attempts += 1
             self._attempt_t0 = now
             self.op_idx = 0
-            self._tx_step(now)
+            if self.coalesce:
+                bursts = self._bursts[self.seg_idx]
+                if bursts and bursts[0][0]:
+                    self._advance_burst(now, 0)
+                else:
+                    self._tx_step_burst(now)
+            else:
+                self._tx_step(now)
 
     def _enter_tl(self, now: int, wait_t0: int) -> None:
         self._bill(TimeCat.WAITLOCK, now - wait_t0)
@@ -543,9 +844,12 @@ class CPU:
         self.stats.tx_attempts += 1
         self._attempt_t0 = now
         self.op_idx = 0
-        self.engine.schedule_after(
-            self.htm_params.xbegin_latency, self._tx_step
-        )
+        if self.coalesce:
+            self._advance_burst(now, self.htm_params.xbegin_latency)
+        else:
+            self.engine.schedule_after(
+                self.htm_params.xbegin_latency, self._tx_step
+            )
 
     # -- commit ---------------------------------------------------------------
 

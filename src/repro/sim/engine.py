@@ -1,11 +1,52 @@
 """Minimal deterministic discrete-event engine.
 
-A binary heap of ``(time, seq, callback)`` with a monotonically
-increasing sequence number as tie-breaker, so same-cycle events fire in
-schedule order and runs are bit-reproducible regardless of hash seeds.
-Callbacks receive the current time.  Cancellation is handled with the
-standard lazy-invalidate idiom (events carry a token that can be voided)
-to keep the heap allocation-light.
+Events are totally ordered by ``(time, vtime, seq)``:
+
+* ``time`` — the cycle the event fires;
+* ``vtime`` — the event's *virtual allocation time*: for ordinary
+  events the cycle it was scheduled at, equal for every entry a single
+  callback schedules, so same-cycle events fire in schedule order and
+  runs are bit-reproducible regardless of hash seeds;
+* ``seq`` — a monotonically increasing sequence number breaking the
+  remaining ties by call order.
+
+``vtime`` exists for **compute-burst coalescing** (repro.sim.cpu): when
+a chain of per-op continuations is folded into one event, the surviving
+event passes the time its *last elided predecessor* would have been
+scheduled at as ``vtime``.  Same-cycle ordering against other cores'
+events then matches the uncoalesced event chain exactly, because for
+ordinary events sorting by (vtime, seq) *is* sorting by seq (alloc time
+is monotone in seq).  Callbacks receive the current time; the vtime of
+the event being processed is exposed as :attr:`SimEngine.now_vtime`.
+
+Two storage tiers share that order (the hot-path layout):
+
+* a **near-future bucket ring** (a 64-slot calendar queue) holds events
+  whose delay from ``now`` is under :data:`RING_SPAN` cycles — the vast
+  majority in a cycle-accurate CMP model (cache latencies, per-burst
+  continuations, wake-ups).  Insertion is a plain ``list.append``; a
+  bucket is sorted once when its cycle is drained (almost always
+  already in order — Timsort makes that a linear scan) and walked with
+  no heap sifting.
+* a binary **heap** of ``(time, vtime, seq, token, fn)`` keeps the
+  long-delay tail (back-off, timeouts).  When the heap holds events for
+  the cycle being drained they are spilled into the bucket first, so
+  one sorted walk covers both tiers.
+
+A bucket is single-epoch by construction: an entry lands in slot
+``when & 63`` only while ``now <= when < now + RING_SPAN``, and the
+engine never advances past a pending ring event, so a slot never mixes
+entries for two different cycles.
+
+Cancellation uses the standard lazy-invalidate idiom (events carry a
+token that can be voided).  Tokens report their cancellation back to
+the engine so it can (a) keep an exact count of *live* events — see
+:meth:`SimEngine.pending` — and (b) compact the heap when cancellation
+storms leave it dominated by dead entries.  A token is consumed when
+its event fires, making a late ``cancel()`` a harmless no-op instead of
+an accounting leak.  Events that are never cancelled can skip the
+per-event token allocation entirely via the ``*_nocancel`` scheduling
+variants, which share one immortal token.
 """
 
 from __future__ import annotations
@@ -17,30 +58,103 @@ from repro.common.errors import EventBudgetError, SimulationError
 
 EventFn = Callable[[int], None]
 
+#: Ring geometry: delays in ``[0, RING_SPAN)`` are bucketed; power of
+#: two so the slot index is a mask away.
+RING_SPAN = 64
+_RING_MASK = RING_SPAN - 1
+
+#: Sentinel "infinitely far" time for empty-tier comparisons.
+_NEVER = float("inf")
+
+#: Heap compaction policy: rebuild when at least this many cancelled
+#: entries are resident *and* they are the majority of the heap.
+_COMPACT_MIN = 256
+
 
 class EventToken:
     """Handle allowing a scheduled event to be cancelled lazily."""
 
-    __slots__ = ("cancelled",)
+    __slots__ = ("cancelled", "_engine")
 
-    def __init__(self) -> None:
+    def __init__(self, engine: Optional["SimEngine"] = None) -> None:
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
-        self.cancelled = True
+        # Consumed (already-fired) tokens have cancelled == True, so a
+        # late cancel falls through without corrupting the live count.
+        if not self.cancelled:
+            self.cancelled = True
+            eng = self._engine
+            if eng is not None:
+                eng._note_cancel()
+
+
+#: Shared token for events that are never cancelled (the no-allocation
+#: ``*_nocancel`` fast paths).  Deliberately not connected to any engine
+#: and never consumed on fire.
+_IMMORTAL = EventToken()
 
 
 class SimEngine:
-    """Priority-queue event scheduler in whole cycles."""
+    """Calendar-queue + heap event scheduler in whole cycles."""
 
-    __slots__ = ("_heap", "_seq", "now", "events_processed", "_max_events")
+    __slots__ = (
+        "_heap",
+        "_ring",
+        "_ring_count",
+        "_ring_next",
+        "_seq",
+        "now",
+        "now_vtime",
+        "events_processed",
+        "_max_events",
+        "_live",
+        "_cancelled_resident",
+        "heap_compactions",
+        "ring_events",
+        "heap_events",
+    )
 
     def __init__(self, max_events: int = 200_000_000) -> None:
-        self._heap: List[Tuple[int, int, EventToken, EventFn]] = []
+        #: Long-delay tier: (time, vtime, seq, token, fn).
+        self._heap: List[Tuple[int, int, int, EventToken, EventFn]] = []
+        #: Near-future tier: 64 buckets of (vtime, seq, token, fn).
+        self._ring: List[list] = [[] for _ in range(RING_SPAN)]
+        self._ring_count = 0
+        #: Earliest cycle holding a ring entry (``_NEVER`` when empty).
+        self._ring_next = _NEVER
         self._seq = 0
         self.now = 0
+        #: vtime of the event currently being processed.
+        self.now_vtime = 0
         self.events_processed = 0
         self._max_events = max_events
+        #: Scheduled, not yet fired, not cancelled.
+        self._live = 0
+        #: Cancelled entries still physically resident.
+        self._cancelled_resident = 0
+        self.heap_compactions = 0
+        #: Tier routing counters (profiling attribution).
+        self.ring_events = 0
+        self.heap_events = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _insert(self, when: int, vtime: int, token: EventToken, fn: EventFn) -> None:
+        if when - self.now < RING_SPAN:
+            self._ring[when & _RING_MASK].append((vtime, self._seq, token, fn))
+            self._ring_count += 1
+            self.ring_events += 1
+            if when < self._ring_next:
+                self._ring_next = when
+        else:
+            heapq.heappush(self._heap, (when, vtime, self._seq, token, fn))
+            self.heap_events += 1
+        self._seq += 1
+        self._live += 1
 
     def schedule(self, when: int, fn: EventFn) -> EventToken:
         """Schedule ``fn`` to fire at absolute cycle ``when``."""
@@ -48,24 +162,167 @@ class SimEngine:
             raise SimulationError(
                 f"scheduling into the past: {when} < now {self.now}"
             )
-        token = EventToken()
-        heapq.heappush(self._heap, (when, self._seq, token, fn))
-        self._seq += 1
+        token = EventToken(self)
+        self._insert(when, self.now, token, fn)
         return token
 
     def schedule_after(self, delay: int, fn: EventFn) -> EventToken:
-        # Hottest scheduler entry point — inlines schedule() (a relative
+        # Hottest cancellable entry point — inlines _insert (a relative
         # delay >= 0 can never land in the past, so no bounds re-check).
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        token = EventToken()
-        heapq.heappush(self._heap, (self.now + delay, self._seq, token, fn))
+        token = EventToken(self)
+        now = self.now
+        if delay < RING_SPAN:
+            when = now + delay
+            self._ring[when & _RING_MASK].append((now, self._seq, token, fn))
+            self._ring_count += 1
+            self.ring_events += 1
+            if when < self._ring_next:
+                self._ring_next = when
+        else:
+            heapq.heappush(self._heap, (now + delay, now, self._seq, token, fn))
+            self.heap_events += 1
         self._seq += 1
+        self._live += 1
         return token
 
+    def schedule_after_nocancel(self, delay: int, fn: EventFn) -> None:
+        """No-allocation ``schedule_after`` for never-cancelled events.
+
+        The entry shares one immortal token, so no :class:`EventToken`
+        is allocated and nothing is returned.  Use only when no code
+        path can want to cancel the event; the event budget and the
+        ``(time, vtime, seq)`` total order apply exactly as for the
+        token path.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        now = self.now
+        if delay < RING_SPAN:
+            when = now + delay
+            self._ring[when & _RING_MASK].append((now, self._seq, _IMMORTAL, fn))
+            self._ring_count += 1
+            self.ring_events += 1
+            if when < self._ring_next:
+                self._ring_next = when
+        else:
+            heapq.heappush(
+                self._heap, (now + delay, now, self._seq, _IMMORTAL, fn)
+            )
+            self.heap_events += 1
+        self._seq += 1
+        self._live += 1
+
+    def schedule_after_virtual(
+        self, delay: int, fn: EventFn, vdelay: int
+    ) -> EventToken:
+        """Schedule with an explicit virtual allocation time.
+
+        The event fires at ``now + delay`` but orders against same-cycle
+        events as if it had been scheduled at ``now + vdelay`` — the
+        burst-coalescing hook (``vdelay`` is the offset of the last
+        elided continuation; it may be negative for abort checkpoints
+        replaying an already-past allocation point).  ``vdelay`` must
+        not exceed ``delay``: an event cannot be allocated after it
+        fires.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        if vdelay > delay:
+            raise SimulationError(f"vdelay {vdelay} > delay {delay}")
+        token = EventToken(self)
+        self._insert(self.now + delay, self.now + vdelay, token, fn)
+        return token
+
+    def schedule_after_virtual_nocancel(
+        self, delay: int, fn: EventFn, vdelay: int
+    ) -> None:
+        """:meth:`schedule_after_virtual` on the shared immortal token."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        if vdelay > delay:
+            raise SimulationError(f"vdelay {vdelay} > delay {delay}")
+        self._insert(self.now + delay, self.now + vdelay, _IMMORTAL, fn)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
     def pending(self) -> int:
-        """Number of not-yet-fired (possibly cancelled) events."""
-        return len(self._heap)
+        """Number of *live* (not-yet-fired, not-cancelled) events.
+
+        Cancelled-but-resident entries are excluded — cancellation
+        storms used to make this overcount until the corpses happened
+        to be popped.
+        """
+        return self._live
+
+    def resident(self) -> int:
+        """Entries physically resident in heap + ring (live or dead)."""
+        return len(self._heap) + self._ring_count
+
+    # ------------------------------------------------------------------
+    # Cancellation accounting & heap compaction
+    # ------------------------------------------------------------------
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        self._cancelled_resident += 1
+        if (
+            self._cancelled_resident >= _COMPACT_MIN
+            and self._cancelled_resident * 2 >= len(self._heap)
+        ):
+            self._compact_heap()
+
+    def _compact_heap(self) -> None:
+        """Drop cancelled entries from the heap and re-heapify.
+
+        Ring corpses are left alone: they drain within RING_SPAN cycles
+        anyway.  Compaction preserves the (time, vtime, seq) order of
+        live events, so it is invisible to the simulation.
+        """
+        heap = self._heap
+        kept = [e for e in heap if not e[3].cancelled]
+        removed = len(heap) - len(kept)
+        if removed:
+            heapq.heapify(kept)
+            self._heap = kept
+            self._cancelled_resident -= removed
+            self.heap_compactions += 1
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _scan_ring_next(self, start: int) -> None:
+        """Recompute ``_ring_next``: earliest ring cycle >= ``start``."""
+        if self._ring_count == 0:
+            self._ring_next = _NEVER
+            return
+        ring = self._ring
+        for d in range(RING_SPAN):
+            t = start + d
+            if ring[t & _RING_MASK]:
+                self._ring_next = t
+                return
+        self._ring_next = _NEVER  # pragma: no cover - count/ring desync
+
+    def _merge_heap_into_bucket(self, t: int, bucket: list) -> None:
+        """Spill heap entries firing at cycle ``t`` into ``t``'s bucket.
+
+        The bucket is then sorted once, giving the (vtime, seq) walk
+        order across both tiers.  ``_ring_next`` is pulled back to ``t``
+        so an exception unwind mid-drain leaves the unfired remainder
+        discoverable.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and heap[0][0] == t:
+            _, vtime, seq, token, fn = pop(heap)
+            bucket.append((vtime, seq, token, fn))
+            self._ring_count += 1
+        self._ring_next = t
 
     def run(self, until: Optional[int] = None) -> int:
         """Drain events (optionally stopping after cycle ``until``).
@@ -78,39 +335,173 @@ class SimEngine:
         anchored at the cutoff rather than a stale ``now``.  Returns
         ``self.now``.
         """
-        # Hot loop: bind the heap, pop and budget to locals; mirror the
+        # Hot loop: bind heap/ring and the budget to locals; mirror the
         # processed count back on every exit path (events fired inside a
-        # callback raising included).
+        # callback raising included).  Cycles holding exactly one event —
+        # the overwhelming case in a sparse cycle-accurate model — take
+        # dedicated fast paths that skip the spill/sort/rescan machinery;
+        # ordering is trivially exact because there is nothing to order
+        # against.
         heap = self._heap
-        pop = heapq.heappop
+        ring = self._ring
+        heappop = heapq.heappop
         budget = self._max_events
         processed = self.events_processed
         try:
-            if until is None:
-                while heap:
-                    when, _, token, fn = pop(heap)
-                    if token.cancelled:
+            while True:
+                t_ring = self._ring_next
+                if heap:
+                    t_heap = heap[0][0]
+                    t = t_ring if t_ring <= t_heap else t_heap
+                elif t_ring is not _NEVER:
+                    t = t_ring
+                else:
+                    break
+                if until is not None and t > until:
+                    break
+
+                bucket = ring[t & _RING_MASK]
+                if heap and heap[0][0] == t:
+                    if not bucket and (
+                        len(heap) == 1
+                        or (
+                            heap[1][0] != t
+                            and (len(heap) < 3 or heap[2][0] != t)
+                        )
+                    ):
+                        # Lone heap event this cycle: fire it in place.
+                        # The ring is untouched (zero-delay events fn
+                        # schedules min-update _ring_next themselves),
+                        # so no bucket spill and no slot rescan.
+                        _, vtime, _s, token, fn = heappop(heap)
+                        if token.cancelled:
+                            self._cancelled_resident -= 1
+                            continue
+                        if token is not _IMMORTAL:
+                            token.cancelled = True  # consumed
+                        self.now = t
+                        self.now_vtime = vtime
+                        self._live -= 1
+                        processed += 1
+                        if processed > budget:
+                            raise EventBudgetError(budget, t)
+                        fn(t)
+                        if self._heap is not heap:
+                            heap = self._heap
                         continue
-                    self.now = when
-                    processed += 1
-                    if processed > budget:
-                        raise EventBudgetError(budget, when)
-                    fn(when)
-            else:
-                while heap and heap[0][0] <= until:
-                    when, _, token, fn = pop(heap)
+                    self._merge_heap_into_bucket(t, bucket)
+                if len(bucket) == 1:
+                    # Lone ring entry: pop + fire, then recompute the
+                    # next ring cycle with one inline probe (the scan
+                    # method is the fallback, not the common case).
+                    vtime, _s, token, fn = bucket.pop()
+                    self._ring_count -= 1
                     if token.cancelled:
-                        continue
-                    self.now = when
-                    processed += 1
-                    if processed > budget:
-                        raise EventBudgetError(budget, when)
-                    fn(when)
-                if until > self.now:
-                    self.now = until
+                        self._cancelled_resident -= 1
+                    else:
+                        if token is not _IMMORTAL:
+                            token.cancelled = True  # consumed
+                        self.now = t
+                        self.now_vtime = vtime
+                        self._live -= 1
+                        processed += 1
+                        if processed > budget:
+                            raise EventBudgetError(budget, t)
+                        fn(t)
+                    if bucket:
+                        # fn appended zero-delay events for this cycle.
+                        self._ring_next = t
+                    elif self._ring_count == 0:
+                        self._ring_next = _NEVER
+                    elif ring[(t + 1) & _RING_MASK]:
+                        self._ring_next = t + 1
+                    else:
+                        # Slots t and t+1 are known empty; every resident
+                        # entry fires within RING_SPAN - 1 cycles of its
+                        # scheduling time <= t, so scanning from t + 2
+                        # still covers the whole window.
+                        self._scan_ring_next(t + 2)
+                    if self._heap is not heap:
+                        heap = self._heap
+                    continue
+                if len(bucket) > 1:
+                    # Near-sorted in the common case (alloc order), so
+                    # this is a linear verification scan, not a sort.
+                    bucket.sort()
+                i = 0
+                try:
+                    # Walk by index: zero-delay events appended
+                    # mid-drain extend this same list and are picked up
+                    # in schedule order.
+                    while i < len(bucket):
+                        vtime, _, token, fn = bucket[i]
+                        i += 1
+                        if token.cancelled:
+                            self._cancelled_resident -= 1
+                            continue
+                        if token is not _IMMORTAL:
+                            token.cancelled = True  # consumed
+                        self.now = t
+                        self.now_vtime = vtime
+                        self._live -= 1
+                        processed += 1
+                        if processed > budget:
+                            raise EventBudgetError(budget, t)
+                        fn(t)
+                finally:
+                    # Keep unfired entries on an exception unwind so a
+                    # resumed engine does not re-fire processed ones.
+                    del bucket[:i]
+                    self._ring_count -= i
+                self._scan_ring_next(t + 1)
+                if self._heap is not heap:
+                    heap = self._heap  # compaction swapped the list
         finally:
             self.events_processed = processed
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
+
+    def step(self) -> bool:
+        """Process exactly one live event; False when none are pending.
+
+        Enforces the same event budget as :meth:`run` — a stepped
+        simulation must not be allowed to livelock forever either.
+        """
+        while True:
+            heap = self._heap
+            t_ring = self._ring_next
+            if heap:
+                t_heap = heap[0][0]
+                t = t_ring if t_ring <= t_heap else t_heap
+            elif t_ring is not _NEVER:
+                t = t_ring
+            else:
+                return False
+            bucket = self._ring[t & _RING_MASK]
+            if heap and heap[0][0] == t:
+                self._merge_heap_into_bucket(t, bucket)
+            if len(bucket) > 1:
+                bucket.sort()
+            vtime, _, token, fn = bucket.pop(0)
+            self._ring_count -= 1
+            if not bucket:
+                self._scan_ring_next(t + 1)
+            if token.cancelled:
+                self._cancelled_resident -= 1
+                continue
+            if token is not _IMMORTAL:
+                token.cancelled = True  # consumed
+            self.now = t
+            self.now_vtime = vtime
+            self._live -= 1
+            self.events_processed += 1
+            if self.events_processed > self._max_events:
+                raise EventBudgetError(self._max_events, self.now)
+            fn(t)
+            return True
+
+    # ------------------------------------------------------------------
 
     def publish_telemetry(self, registry) -> None:
         """Publish scheduler counters under ``sim.*`` (pull-model)."""
@@ -118,22 +509,7 @@ class SimEngine:
         sim.set("now", self.now)
         sim.set("events_processed", self.events_processed)
         sim.set("events_pending", self.pending())
-
-    def step(self) -> bool:
-        """Process exactly one live event; False when the heap is empty.
-
-        Enforces the same event budget as :meth:`run` — a stepped
-        simulation must not be allowed to livelock forever either.
-        """
-        heap = self._heap
-        while heap:
-            when, _, token, fn = heapq.heappop(heap)
-            if token.cancelled:
-                continue
-            self.now = when
-            self.events_processed += 1
-            if self.events_processed > self._max_events:
-                raise EventBudgetError(self._max_events, self.now)
-            fn(when)
-            return True
-        return False
+        sim.set("events_resident", self.resident())
+        sim.set("ring_events", self.ring_events)
+        sim.set("heap_events", self.heap_events)
+        sim.set("heap_compactions", self.heap_compactions)

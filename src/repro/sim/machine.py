@@ -46,6 +46,7 @@ class Machine:
         seed: int = 0,
         fault_plan=None,
         watchdog=None,
+        coalesce: bool = True,
     ) -> None:
         if len(programs) > params.num_cores:
             raise ConfigError(
@@ -54,6 +55,10 @@ class Machine:
         self.params = params
         self.spec = spec
         self.seed = seed
+        #: Compute-burst coalescing for the CPU stepping loops; results
+        #: are bit-identical either way (the equivalence tests pin it) —
+        #: False restores the reference one-event-per-op interpreter.
+        self.coalesce = coalesce
         #: Forward-progress watchdog config (repro.resilience.watchdog.
         #: WatchdogConfig or None); armed in run().
         self.watchdog = watchdog
@@ -139,7 +144,9 @@ class Machine:
         self.wakeups.discard_waiter(core)
         cpu.force_unpark(now)
         # If not parked, the CPU's in-flight continuation observes the
-        # abort flag at its next event.
+        # abort flag at its next event; a coalesced compute burst may
+        # need that observation point re-materialized.
+        cpu.note_external_abort(now)
 
     def abort_all_htm(self, reason: AbortReason, exclude: int) -> None:
         """The classic fallback lock acquisition: every subscriber dies."""

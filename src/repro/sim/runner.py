@@ -35,6 +35,10 @@ class RunConfig:
     #: forward-progress watchdog.  Both default off (zero overhead).
     fault_plan: Optional[object] = None
     watchdog: Optional[object] = None
+    #: Compute-burst coalescing in the CPU model (bit-identical results;
+    #: False selects the reference per-op interpreter, mainly for the
+    #: equivalence tests and interpreter debugging).
+    coalesce: bool = True
     #: Optional observability session (repro.telemetry.Telemetry).
     #: None (the default) leaves the machine completely unwrapped —
     #: telemetry-off runs are bit-identical to the seed goldens.
@@ -62,6 +66,7 @@ def run_workload(
         seed=config.seed,
         fault_plan=config.fault_plan,
         watchdog=config.watchdog,
+        coalesce=config.coalesce,
     )
     telemetry = config.telemetry
     if telemetry is not None:

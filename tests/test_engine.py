@@ -154,3 +154,177 @@ class TestStepAndAccounting:
         eng.schedule(0, chain)
         eng.run()
         assert seen == [0, 1, 2, 3, 4, 5]
+
+
+class TestCalendarRingEdgeCases:
+    """Edge cases of the bucket-ring + heap two-tier scheduler."""
+
+    def test_zero_delay_storm_drains_in_schedule_order(self):
+        # Events that schedule more zero-delay events at the same cycle
+        # must fire in allocation order and all within that cycle.
+        eng = SimEngine()
+        seen = []
+
+        def spawn(depth):
+            def fire(t):
+                seen.append((depth, t))
+                if depth < 50:
+                    eng.schedule_after(0, spawn(depth + 1))
+
+            return fire
+
+        eng.schedule(7, spawn(0))
+        eng.run()
+        assert seen == [(d, 7) for d in range(51)]
+        assert eng.now == 7
+        assert eng.pending() == 0
+
+    def test_zero_delay_storm_from_heap_fast_path(self):
+        # A lone heap event whose callback floods the current cycle
+        # with zero-delay ring events: the direct-fire path must leave
+        # _ring_next discoverable so the flood still drains at t.
+        eng = SimEngine()
+        seen = []
+
+        def flood(t):
+            for i in range(5):
+                eng.schedule_after(0, lambda tt, i=i: seen.append((i, tt)))
+
+        eng.schedule_after(100, flood)  # heap tier (>= RING_SPAN)
+        eng.run()
+        assert seen == [(i, 100) for i in range(5)]
+
+    def test_cancel_bucketed_event_before_its_cycle(self):
+        eng = SimEngine()
+        seen = []
+        tok = eng.schedule_after(3, seen.append)  # ring tier
+        eng.schedule_after(5, seen.append)
+        assert eng.pending() == 2
+        tok.cancel()
+        assert eng.pending() == 1
+        eng.run()
+        assert seen == [5]
+
+    def test_cancel_bucketed_event_same_cycle_mid_drain(self):
+        # First event at t cancels its same-cycle sibling: the corpse
+        # must be skipped even though it is already in the bucket.
+        eng = SimEngine()
+        seen = []
+        holder = {}
+        eng.schedule_after(4, lambda t: holder["tok"].cancel())
+        holder["tok"] = eng.schedule_after(4, seen.append)
+        eng.schedule_after(4, lambda t: seen.append("third"))
+        eng.run()
+        assert seen == ["third"]
+        assert eng.pending() == 0
+
+    def test_cancel_fired_token_is_noop(self):
+        # Tokens are consumed on fire; a late cancel must not corrupt
+        # the live count.
+        eng = SimEngine()
+        tok = eng.schedule_after(1, lambda t: None)
+        eng.schedule_after(2, lambda t: None)
+        eng.step()
+        tok.cancel()  # already fired
+        assert eng.pending() == 1
+        eng.run()
+        assert eng.pending() == 0
+
+    def test_run_until_truncation_with_ring_events(self):
+        # Ring events beyond the cutoff survive a truncated run and a
+        # follow-up schedule_after anchors at the cutoff.
+        eng = SimEngine()
+        seen = []
+        for d in (1, 5, 9, 13):
+            eng.schedule_after(d, seen.append)
+        eng.run(until=6)
+        assert seen == [1, 5]
+        assert eng.now == 6
+        assert eng.pending() == 2
+        eng.schedule_after(1, seen.append)
+        eng.run()
+        assert seen == [1, 5, 7, 9, 13]
+
+    def test_budget_enforced_on_nocancel_path(self):
+        from repro.common.errors import EventBudgetError
+
+        eng = SimEngine(max_events=10)
+
+        def chain(t):
+            eng.schedule_after_nocancel(1, chain)
+
+        eng.schedule_after_nocancel(0, chain)
+        with pytest.raises(EventBudgetError):
+            eng.run()
+        # The over-budget event is counted (then refused) — same
+        # accounting as the token path.
+        assert eng.events_processed == 11
+
+    def test_budget_enforced_on_heap_fast_path(self):
+        from repro.common.errors import EventBudgetError
+
+        eng = SimEngine(max_events=5)
+
+        def chain(t):
+            eng.schedule_after_nocancel(100, chain)  # heap tier
+
+        eng.schedule_after_nocancel(100, chain)
+        with pytest.raises(EventBudgetError):
+            eng.run()
+        assert eng.events_processed == 6
+
+    def test_pending_excludes_cancelled_events(self):
+        eng = SimEngine()
+        toks = [eng.schedule_after(70 + i, lambda t: None) for i in range(8)]
+        assert eng.pending() == 8
+        for tok in toks[:5]:
+            tok.cancel()
+        assert eng.pending() == 3
+        assert eng.resident() == 8  # corpses still physically queued
+        eng.run()
+        assert eng.pending() == 0
+        assert eng.resident() == 0
+
+    def test_heap_compaction_on_cancellation_storm(self):
+        from repro.sim.engine import _COMPACT_MIN
+
+        eng = SimEngine()
+        keep = []
+        toks = []
+        for i in range(2 * _COMPACT_MIN):
+            toks.append(
+                eng.schedule_after(1000 + i, keep.append)
+            )
+        for tok in toks[: 2 * _COMPACT_MIN - 10]:
+            tok.cancel()
+        assert eng.heap_compactions >= 1
+        assert eng.resident() < 2 * _COMPACT_MIN
+        eng.run()
+        assert len(keep) == 10
+
+    def test_virtual_delay_orders_before_plain_same_cycle(self):
+        # An event with an earlier virtual allocation time fires before
+        # a same-cycle event allocated (for real) in between.
+        eng = SimEngine()
+        seen = []
+        eng.schedule(10, lambda t: None)
+        eng.run()  # now = 10
+        eng.schedule_after_virtual(5, lambda t: seen.append("early-v"), -3)
+        eng.schedule_after(5, lambda t: seen.append("plain"))
+        eng.run()
+        assert seen == ["early-v", "plain"]
+        # vtime may not exceed fire time.
+        with pytest.raises(SimulationError):
+            eng.schedule_after_virtual(2, lambda t: None, 3)
+
+    def test_ring_to_heap_boundary(self):
+        from repro.sim.engine import RING_SPAN
+
+        eng = SimEngine()
+        seen = []
+        eng.schedule_after(RING_SPAN - 1, seen.append)  # last ring slot
+        eng.schedule_after(RING_SPAN, seen.append)  # first heap delay
+        assert eng.ring_events == 1
+        assert eng.heap_events == 1
+        eng.run()
+        assert seen == [RING_SPAN - 1, RING_SPAN]
