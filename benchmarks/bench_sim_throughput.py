@@ -99,6 +99,61 @@ def test_end_to_end_simulation_rate(benchmark):
         )
 
 
+def test_end_to_end_fresh_build(benchmark):
+    """The e2e cell with every reuse layer disabled.
+
+    This is the pre-PR 7 configuration — a fresh WorkloadBuild (full
+    generator RNG stream) and a fresh Machine every run.  Contrast with
+    ``test_end_to_end_simulation_rate`` (which uses the default shared
+    build cache and global machine pool) to read off the combined
+    per-run cost that structural reuse removes from sweeps.
+    """
+    config = RunConfig(
+        spec=get_system("LockillerTM"),
+        threads=4,
+        scale=0.1,
+        seed=1,
+        share_build=False,
+        machine_pool=False,
+    )
+
+    def one_run():
+        stats = run_workload(get_workload("vacation-"), config)
+        return stats.execution_cycles
+
+    assert benchmark(one_run) > 0
+
+
+def test_end_to_end_pooled_machine(benchmark):
+    """The e2e cell on a private pool with observable counters.
+
+    Performance-wise this matches ``test_end_to_end_simulation_rate``
+    (which uses the process-global pool by default); the private pool
+    lets the bench assert reuse actually happened and publish the
+    build/reuse counts as extra_info.
+    """
+    from repro.sim.pool import MachinePool
+
+    pool = MachinePool()
+    config = RunConfig(
+        spec=get_system("LockillerTM"),
+        threads=4,
+        scale=0.1,
+        seed=1,
+        machine_pool=pool,
+    )
+
+    def one_run():
+        stats = run_workload(get_workload("vacation-"), config)
+        return stats.execution_cycles
+
+    one_run()  # prime the pool so even a single timed call is a reuse
+    assert benchmark(one_run) > 0
+    assert pool.reuses > 0
+    benchmark.extra_info["pool_builds"] = pool.builds
+    benchmark.extra_info["pool_reuses"] = pool.reuses
+
+
 def test_end_to_end_with_telemetry(benchmark):
     """Same cell as above with a full telemetry session attached.
 

@@ -1,11 +1,11 @@
-"""Perf-smoke gate: compare a pytest-benchmark run against BENCH_PR5.json.
+"""Perf-smoke gate: compare a pytest-benchmark run against BENCH_PR7.json.
 
 Two modes, one file format:
 
 * ``snapshot`` — reduce a ``--benchmark-json`` output to the
   machine-readable per-case summary (mean/stddev/median/min in ms plus
   ``extra_info`` such as ``events_processed``) that lives at the repo
-  root as ``BENCH_PR5.json``.  Pass ``--before`` to fold a previous
+  root as ``BENCH_PR7.json``.  Pass ``--before`` to fold a previous
   snapshot's ``after_ms`` numbers in as ``before_ms`` so the artifact
   carries its own before/after story.
 * ``check`` — compare a fresh ``--benchmark-json`` run against the
@@ -17,9 +17,9 @@ Two modes, one file format:
 Usage::
 
     python benchmarks/check_perf_regression.py snapshot run.json \
-        --out BENCH_PR5.json [--before OLD.json] [--label "PR 5"]
+        --out BENCH_PR7.json [--before OLD.json] [--label "PR 7"]
     python benchmarks/check_perf_regression.py check run.json \
-        --baseline BENCH_PR5.json [--tolerance 0.25]
+        --baseline BENCH_PR7.json [--tolerance 0.25]
 """
 
 from __future__ import annotations

@@ -53,6 +53,14 @@ class CacheArray:
         self.misses = 0
         self.evictions = 0
 
+    def reset(self) -> None:
+        """Empty the array and zero its counters (machine-pool reuse)."""
+        self._state.clear()
+        self._sets.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
     def __len__(self) -> int:
         return len(self._state)
 
@@ -151,6 +159,15 @@ class CacheArray:
 
     def resident_lines(self):
         return self._state.keys()
+
+    def resident_states(self):
+        """(line, MESI state) view over resident lines — one dict walk.
+
+        The end-of-run validators sweep every resident line of every
+        array; iterating the items view directly beats a
+        ``resident_lines()`` walk with a ``probe()`` lookup per line.
+        """
+        return self._state.items()
 
     def set_occupancy(self, line: int) -> int:
         """Ways in use in the set that ``line`` maps to."""

@@ -44,6 +44,10 @@ class Directory:
     def __init__(self) -> None:
         self._entries: Dict[int, DirEntry] = {}
 
+    def reset(self) -> None:
+        """Forget every line (machine-pool reuse)."""
+        self._entries.clear()
+
     def entry(self, line: int) -> DirEntry:
         e = self._entries.get(line)
         if e is None:
@@ -132,15 +136,16 @@ class Directory:
                     f"{sorted(e.sharers)}"
                 )
         per_line_owners: Dict[int, List[int]] = {}
+        E, M = MESI.E, MESI.M
+        entries = self._entries
         for core, arr in enumerate(l1_arrays):
-            for line in arr.resident_lines():
-                st = arr.probe(line)
-                recorded = self._entries.get(line)
+            for line, st in arr.resident_states():
+                recorded = entries.get(line)
                 if recorded is None:
                     raise ProtocolInvariantError(
                         f"L1[{core}] holds untracked line {line:#x}"
                     )
-                if st in (MESI.E, MESI.M):
+                if st == E or st == M:
                     per_line_owners.setdefault(line, []).append(core)
                     if recorded.owner != core:
                         raise ProtocolInvariantError(

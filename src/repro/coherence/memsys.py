@@ -88,6 +88,14 @@ class MemorySystem:
         self.core_stats = core_stats
         self.tile_of_core = tile_of_core
         n = params.num_cores
+        #: Hot-path constants: core->tile map and tile count, lifted out
+        #: of the per-access method calls on the directory miss path.
+        self._tile_of = [tile_of_core(c) for c in range(n)]
+        self._n_tiles = topology.num_tiles
+        #: Per-core pinned-line predicates, cached against the identity
+        #: of the TxState's read set (the sets are cleared in place, so
+        #: one closure per TxState lifetime suffices).
+        self._pinned_preds: Dict[int, tuple] = {}
         self.l1s: List[CacheArray] = [CacheArray(params.l1) for _ in range(n)]
         #: MESI-Three-Level-HTM mode (§IV-A): a private middle cache per
         #: core maintains the transactional data.  None = two-level.
@@ -133,6 +141,34 @@ class MemorySystem:
     def _unwired_abort(core: int, reason: AbortReason, now: int) -> None:
         raise ProtocolInvariantError("abort callback not wired")
 
+    def reset(self, core_stats: List[CoreStats]) -> None:
+        """Return to the just-constructed state (machine-pool reuse).
+
+        Caches, directory, functional memory, tracking maps, signatures
+        and counters all start over; the caller re-wires ``tx_states``
+        after rebuilding its CPUs.
+        """
+        self.core_stats = core_stats
+        for l1 in self.l1s:
+            l1.reset()
+        if self.l2s is not None:
+            for l2 in self.l2s:
+                l2.reset()
+        self.llc.reset()
+        self.directory.reset()
+        self.memory.clear()
+        self.tx_readers.clear()
+        self.tx_writers.clear()
+        self.tx_states = []
+        self._pinned_preds.clear()
+        self.of_rd_sig.clear()
+        self.of_wr_sig.clear()
+        self.sig_owner = -1
+        self.paranoid = False
+        self.signature_spills = 0
+        self.signature_rejects = 0
+        self.chaos = None
+
     # ------------------------------------------------------------------
     # Functional value plane
     # ------------------------------------------------------------------
@@ -167,12 +203,22 @@ class MemorySystem:
     # ------------------------------------------------------------------
 
     def _track(self, core: int, line: int, is_write: bool, tx: TxState) -> None:
+        # get-then-add instead of setdefault: setdefault allocates a
+        # throwaway set on every call for an already-tracked line.
         if is_write:
-            tx.track_write(line)
-            self.tx_writers.setdefault(line, set()).add(core)
+            tx.write_set.add(line)
+            holders = self.tx_writers.get(line)
+            if holders is None:
+                self.tx_writers[line] = {core}
+            else:
+                holders.add(core)
         else:
-            tx.track_read(line)
-            self.tx_readers.setdefault(line, set()).add(core)
+            tx.read_set.add(line)
+            holders = self.tx_readers.get(line)
+            if holders is None:
+                self.tx_readers[line] = {core}
+            else:
+                holders.add(core)
 
     def discard_tx(self, core: int) -> None:
         """Drop all transactional tracking for ``core`` (abort path).
@@ -289,7 +335,9 @@ class MemorySystem:
             self.tx_states[core], now
         )
 
-    def _pinned_pred(self, tx: TxState) -> Optional[Callable[[int], bool]]:
+    def _pinned_pred(
+        self, core: int, tx: TxState
+    ) -> Optional[Callable[[int], bool]]:
         # Identity checks instead of the in_transaction enum property:
         # this runs on every private-cache insert.
         mode = tx.mode
@@ -300,7 +348,15 @@ class MemorySystem:
             # Nothing tracked yet: an always-false predicate selects the
             # same LRU victim as no predicate, without the closure.
             return None
-        return lambda line: line in rs or line in ws
+        # The sets are cleared in place across transactions, so one
+        # closure per TxState lifetime suffices; the identity check
+        # invalidates the cache if the TxState is ever swapped out.
+        cached = self._pinned_preds.get(core)
+        if cached is not None and cached[0] is rs:
+            return cached[1]
+        pred = lambda line: line in rs or line in ws  # noqa: E731
+        self._pinned_preds[core] = (rs, pred)
+        return pred
 
     def _collect_holders(
         self, core: int, line: int, is_write: bool, now: int
@@ -423,7 +479,7 @@ class MemorySystem:
         needs_insert = outer.probe(line) == MESI.I
         pinned = None
         if needs_insert:
-            pinned = self._pinned_pred(tx)
+            pinned = self._pinned_pred(core, tx)
             if (
                 pinned is not None
                 and outer.set_occupancy(line) >= outer_params.assoc
@@ -446,11 +502,29 @@ class MemorySystem:
                     return AccessResult(OVERFLOW, p.l1.hit_latency)
 
         # -- Miss path: to the home directory ----------------------------
-        home = self.topology.home_tile(line)
-        my_tile = self.tile_of_core(core)
-        req_lat = p.l1.hit_latency + self.network.control_latency(
-            my_tile, home
-        )
+        # Fused round-trip pricing: with stateless pricing and no chaos
+        # hook armed, every message on this directory transaction is a
+        # pure (class, hops) table lookup and the NoC counters are
+        # order-insensitive sums — so all legs are priced inline from
+        # the PR 5 latency tables and the counters flushed once per
+        # access.  Chaos or link-contention modeling falls back to the
+        # legacy per-message calls, preserving RNG draw order and link
+        # reservation order exactly.  Modeled latencies, message counts
+        # and orderings are identical either way.
+        net = self.network
+        home = line % self._n_tiles
+        my_tile = self._tile_of[core]
+        fused = net.chaos is None and net._stateless
+        if fused:
+            n_tiles = self._n_tiles
+            hops_tbl = net._hops_table
+            hops_rh = hops_tbl[my_tile * n_tiles + home]
+            req_lat = p.l1.hit_latency + net._ctrl_by_hops[hops_rh]
+            f_msgs = 1
+            f_flits = net._ctrl_tail + 1
+            f_hops = hops_rh
+        else:
+            req_lat = p.l1.hit_latency + net.control_latency(my_tile, home)
         entry = self.directory.entry(line)
         arrive = now + req_lat
         start = arrive if arrive > entry.busy_until else entry.busy_until
@@ -466,7 +540,13 @@ class MemorySystem:
             and self.chaos.storm_reject()
         ):
             entry.busy_until = start + p.llc.hit_latency
-            back = self.network.control_latency(home, my_tile)
+            if fused:
+                back = net._ctrl_by_hops[hops_rh]
+                net.messages_sent += f_msgs + 1
+                net.flits_sent += f_flits + net._ctrl_tail + 1
+                net.hops_traversed += f_hops + hops_rh
+            else:
+                back = net.control_latency(home, my_tile)
             stats.rejects_received += 1
             phantom = (core + 1) % len(self.core_stats)
             self.core_stats[phantom].rejects_issued += 1
@@ -476,53 +556,101 @@ class MemorySystem:
                 reject_holder=phantom,
             )
 
-        holders = self._collect_holders(core, line, is_write, now)
-        req = RequesterInfo(
-            core,
-            tx.mode,
-            self.manager.priority_provider.priority_of(tx, now),
-            is_write,
-        )
-        resolution: Resolution = self.manager.resolve(req, holders)
-
-        if not resolution.granted:
-            entry.busy_until = start + p.llc.hit_latency
-            back = self.network.control_latency(home, my_tile)
-            latency = (start - now) + p.llc.hit_latency + back
-            stats.rejects_received += 1
-            self.core_stats[resolution.reject_holder].rejects_issued += 1
-            return AccessResult(
-                REJECT,
-                latency,
-                reject_holder=resolution.reject_holder,
-                reject_by_lock=resolution.reject_by_lock,
+        # No-conflict pre-check: on the overwhelmingly common
+        # conflict-free miss the full holder/priority/resolution
+        # machinery allocates three objects just to conclude "granted,
+        # no victims" — detect that case directly from the tracking
+        # maps.  Any other core in the maps, or live overflow
+        # signatures, takes the full resolution path (which also owns
+        # the signature_rejects accounting).
+        writers = self.tx_writers.get(line)
+        conflict_free = not writers or (core in writers and len(writers) == 1)
+        if conflict_free and is_write:
+            readers = self.tx_readers.get(line)
+            conflict_free = not readers or (
+                core in readers and len(readers) == 1
             )
+        if conflict_free and self.sig_owner >= 0 and self.sig_owner != core:
+            conflict_free = False
 
-        # -- Granted: abort victims, move data, update state -------------
-        victim_cores = set()
-        for vcore, reason in resolution.victims:
-            victim_cores.add(vcore)
-            self.abort_core(vcore, reason, now)
+        if conflict_free:
+            self.manager.grants += 1
+            victim_cores = ()
+        else:
+            holders = self._collect_holders(core, line, is_write, now)
+            req = RequesterInfo(
+                core,
+                tx.mode,
+                self.manager.priority_provider.priority_of(tx, now),
+                is_write,
+            )
+            resolution: Resolution = self.manager.resolve(req, holders)
+
+            if not resolution.granted:
+                entry.busy_until = start + p.llc.hit_latency
+                if fused:
+                    back = net._ctrl_by_hops[hops_rh]
+                    net.messages_sent += f_msgs + 1
+                    net.flits_sent += f_flits + net._ctrl_tail + 1
+                    net.hops_traversed += f_hops + hops_rh
+                else:
+                    back = net.control_latency(home, my_tile)
+                latency = (start - now) + p.llc.hit_latency + back
+                stats.rejects_received += 1
+                self.core_stats[resolution.reject_holder].rejects_issued += 1
+                return AccessResult(
+                    REJECT,
+                    latency,
+                    reject_holder=resolution.reject_holder,
+                    reject_by_lock=resolution.reject_by_lock,
+                )
+
+            # -- Granted: abort victims before moving data ---------------
+            victim_cores = set()
+            for vcore, reason in resolution.victims:
+                victim_cores.add(vcore)
+                self.abort_core(vcore, reason, now)
 
         owner_before = entry.owner
         llc_hit = self.llc.contains(line)
         data_lat = p.llc.hit_latency + (0 if llc_hit else p.memory.latency)
 
         if owner_before >= 0 and owner_before != core:
-            owner_tile = self.tile_of_core(owner_before)
+            owner_tile = self._tile_of[owner_before]
             if owner_before in victim_cores:
                 # Fig. 3 NACK path: the aborting owner invalidated
                 # itself; the directory sources the data.
-                data_lat += (
-                    self.network.control_latency(home, owner_tile)
-                    + self.network.control_latency(owner_tile, home)
-                    + self.network.data_latency(home, my_tile)
-                )
+                if fused:
+                    hops_ho = hops_tbl[home * n_tiles + owner_tile]
+                    data_lat += (
+                        2 * net._ctrl_by_hops[hops_ho]
+                        + net._data_by_hops[hops_rh]
+                    )
+                    f_msgs += 3
+                    f_flits += 2 * (net._ctrl_tail + 1) + net._data_tail + 1
+                    f_hops += 2 * hops_ho + hops_rh
+                else:
+                    data_lat += (
+                        net.control_latency(home, owner_tile)
+                        + net.control_latency(owner_tile, home)
+                        + net.data_latency(home, my_tile)
+                    )
             else:
                 # Normal cache-to-cache forward.
-                data_lat += self.network.control_latency(
-                    home, owner_tile
-                ) + self.network.data_latency(owner_tile, my_tile)
+                if fused:
+                    hops_ho = hops_tbl[home * n_tiles + owner_tile]
+                    hops_om = hops_tbl[owner_tile * n_tiles + my_tile]
+                    data_lat += (
+                        net._ctrl_by_hops[hops_ho]
+                        + net._data_by_hops[hops_om]
+                    )
+                    f_msgs += 2
+                    f_flits += net._ctrl_tail + net._data_tail + 2
+                    f_hops += hops_ho + hops_om
+                else:
+                    data_lat += net.control_latency(
+                        home, owner_tile
+                    ) + net.data_latency(owner_tile, my_tile)
                 if is_write:
                     self._purge_private(owner_before, line)
                     self.directory.remove_copy(line, owner_before)
@@ -530,13 +658,28 @@ class MemorySystem:
                     self._demote_private(owner_before, line)
                     self.directory.demote_owner_to_sharer(line)
         else:
-            data_lat += self.network.data_latency(home, my_tile)
+            if fused:
+                data_lat += net._data_by_hops[hops_rh]
+                f_msgs += 1
+                f_flits += net._data_tail + 1
+                f_hops += hops_rh
+            else:
+                data_lat += net.data_latency(home, my_tile)
 
         if is_write:
-            for c in list(self.directory.copies(line)):
-                if c != core:
+            # Inline directory.copies()/remove_copy() on the held entry
+            # (set/list churn otherwise; entries are never replaced, so
+            # the reference stays current across the nested calls above).
+            owner_now = entry.owner
+            if owner_now >= 0:
+                if owner_now != core:
+                    self._purge_private(owner_now, line)
+                    entry.owner = -1
+                    entry.sharers.discard(owner_now)
+            elif entry.sharers:
+                for c in [c for c in entry.sharers if c != core]:
                     self._purge_private(c, line)
-                    self.directory.remove_copy(line, c)
+                    entry.sharers.discard(c)
 
         # Inclusive LLC fill (may back-invalidate on eviction).
         if not llc_hit:
@@ -549,11 +692,14 @@ class MemorySystem:
             if is_write:
                 new_state = MESI.M
             else:
-                new_state = (
-                    MESI.S
-                    if self.directory.has_other_copies(line, core)
-                    else MESI.E
-                )
+                # Inline directory.has_other_copies on the held entry.
+                owner_now = entry.owner
+                if owner_now >= 0:
+                    other = owner_now != core
+                else:
+                    sh = entry.sharers
+                    other = bool(sh) and (core not in sh or len(sh) > 1)
+                new_state = MESI.S if other else MESI.E
             victim = outer.insert(line, new_state, pinned)
             if victim is not None:
                 if victim.was_pinned:
@@ -578,9 +724,16 @@ class MemorySystem:
                     l1.insert(line, new_state, pinned=None)
 
         if is_write or new_state == MESI.E:
-            self.directory.set_exclusive(line, core)
-        else:
-            self.directory.add_sharer(line, core)
+            # Inline directory.set_exclusive on the held entry.
+            entry.owner = core
+            entry.sharers.clear()
+        elif entry.owner != core:
+            # Inline directory.add_sharer on the held entry.
+            if entry.owner >= 0:
+                raise ProtocolInvariantError(
+                    f"adding sharer {core} to owned line {line:#x}"
+                )
+            entry.sharers.add(core)
 
         # Blocking directory: the line stays in its transient state until
         # the requester's unblock arrives — i.e. the whole data path.
@@ -588,6 +741,10 @@ class MemorySystem:
         if tx.mode in _TRACK_MODES and not tx.aborted:
             self._track(core, line, is_write, tx)
 
+        if fused:
+            net.messages_sent += f_msgs
+            net.flits_sent += f_flits
+            net.hops_traversed += f_hops
         latency = (start - now) + data_lat
         if self.paranoid:
             self.directory.check_swmr(

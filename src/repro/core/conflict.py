@@ -82,6 +82,12 @@ class ConflictManager:
         self.grants = 0
         self.rejects = 0
 
+    def reset(self) -> None:
+        """Zero the decision counters (machine-pool reuse); the spec and
+        priority provider are stateless and survive."""
+        self.grants = 0
+        self.rejects = 0
+
     def resolve(
         self, req: RequesterInfo, holders: List[HolderInfo]
     ) -> Resolution:

@@ -56,6 +56,15 @@ class HLArbiter:
         self.stl_denials = 0
         self.tl_grants = 0
 
+    def reset(self) -> None:
+        """Release ownership, drop the queue, zero counters (pool reuse)."""
+        self.owner = None
+        self.owner_is_stl = False
+        self._tl_queue.clear()
+        self.stl_grants = 0
+        self.stl_denials = 0
+        self.tl_grants = 0
+
     @property
     def busy(self) -> bool:
         return self.owner is not None

@@ -36,6 +36,14 @@ class WakeupTable:
         self.chaos_drop: Optional[Callable[[], bool]] = None
         self.dropped = 0
 
+    def reset(self) -> None:
+        """Drop all waiters, counters and chaos hooks (machine-pool reuse)."""
+        self._table.clear()
+        self.registered = 0
+        self.drained = 0
+        self.chaos_drop = None
+        self.dropped = 0
+
     def register(
         self,
         holder: int,

@@ -50,7 +50,17 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     """Apply the shared ``jobs`` convention; returns a worker count >= 1."""
     if jobs is None:
         env = os.environ.get("REPRO_JOBS")
-        jobs = int(env) if env else 1
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"invalid REPRO_JOBS={env!r}: expected an integer "
+                    "(0 = one worker per CPU, 1 = serial, N > 1 = "
+                    "N worker processes)"
+                ) from None
+        else:
+            jobs = 1
     if jobs == 0:
         return os.cpu_count() or 1
     if jobs < 0:
@@ -59,7 +69,13 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def execute_cell(task: CellTask) -> Tuple[int, RunStats]:
-    """Run one cell (worker entry point; also the serial path)."""
+    """Run one cell (worker entry point; also the serial path).
+
+    Cells share the process-wide build cache and machine pool (the
+    RunConfig defaults): both are bit-identical plumbing (pinned by the
+    equivalence suites), and per worker process, so no state ever
+    crosses process boundaries.
+    """
     from repro.sim.runner import RunConfig, run_workload
     from repro.workloads.registry import get_workload
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 from enum import Enum
@@ -82,6 +83,12 @@ def cell_key(
     seed: int,
 ) -> str:
     """Content hash identifying one simulation cell."""
+    # Normalize the numeric cell coordinates so equal values hash
+    # equally regardless of Python type: ``scale=1`` (int) and
+    # ``scale=1.0`` (float) describe the same cell, but ``json.dumps``
+    # renders them differently ("1" vs "1.0").  Coercing here keeps all
+    # existing float-scale keys unchanged (json renders ``float(0.05)``
+    # exactly as before), so no CACHE_SCHEMA_VERSION bump is needed.
     payload = json.dumps(
         {
             "cache_schema": CACHE_SCHEMA_VERSION,
@@ -89,9 +96,9 @@ def cell_key(
             "workload": workload,
             "spec": _canonical(spec),
             "params": _canonical(params),
-            "threads": threads,
-            "scale": scale,
-            "seed": seed,
+            "threads": int(threads),
+            "scale": float(scale),
+            "seed": int(seed),
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -114,22 +121,38 @@ class RunCache:
     def get(self, key: str) -> Optional[RunStats]:
         path = self.path_for(key)
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                data = json.load(fh)
-            stats = run_stats_from_dict(data)
+            fh = open(path, "r", encoding="utf-8")
+        except OSError:
+            # No entry on disk: a plain miss.
+            self.misses += 1
+            return None
+        try:
+            with fh:
+                stats = run_stats_from_dict(json.load(fh))
         except (OSError, ValueError, KeyError, TypeError):
-            # Missing, corrupt, or stale-schema entry: a plain miss.
+            # Corrupt or stale-schema entry: a miss, and the file can
+            # never become a hit again — unlink it so the next run
+            # re-stores cleanly instead of re-parsing garbage forever.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             self.misses += 1
             return None
         self.hits += 1
         return stats
+
+    _tmp_seq = itertools.count()
 
     def put(
         self, key: str, stats: RunStats, meta: Optional[Dict] = None
     ) -> None:
         path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        # pid disambiguates processes; the class-level counter
+        # disambiguates threads within one process, so two concurrent
+        # same-key puts never interleave writes into one temp file.
+        tmp = f"{path}.tmp.{os.getpid()}.{next(RunCache._tmp_seq)}"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(run_stats_to_dict(stats, meta), fh, sort_keys=True)
         os.replace(tmp, path)

@@ -60,6 +60,14 @@ class LockManager:
         self.acquisitions = 0
         self.contended_acquisitions = 0
 
+    def reset(self) -> None:
+        """Free the lock, drop all waiters, zero counters (pool reuse)."""
+        self.holder = None
+        self._queue.clear()
+        self._elision_waiters.clear()
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
     @property
     def held(self) -> bool:
         return self.holder is not None

@@ -95,6 +95,20 @@ class NetworkModel:
         #: the Machine when a FaultPlan is armed, else None (no cost).
         self.chaos: Optional[Callable[[int], int]] = None
 
+    def reset(self) -> None:
+        """Zero counters and link state (machine-pool reuse).
+
+        The latency tables are pure functions of (geometry, params) and
+        survive; the wired :attr:`clock` closure stays valid because the
+        pool reuses the engine object in place.
+        """
+        self.messages_sent = 0
+        self.flits_sent = 0
+        self.hops_traversed = 0
+        self._link_busy.clear()
+        self.link_stalls = 0
+        self.chaos = None
+
     def latency(self, src_tile: int, dst_tile: int, msg_class: MessageClass) -> int:
         """Cycles for one message from ``src_tile`` to ``dst_tile``."""
         hops = self._hops_table[src_tile * self._n_tiles + dst_tile]

@@ -139,6 +139,29 @@ class SimEngine:
         self.ring_events = 0
         self.heap_events = 0
 
+    def reset(self) -> None:
+        """Return to the just-constructed state (machine-pool reuse).
+
+        Everything observable — clock, sequence counter, both storage
+        tiers, live/cancelled accounting, telemetry counters — starts
+        over, so a run on a reset engine is bit-identical to a run on a
+        fresh one.
+        """
+        self._heap.clear()
+        for bucket in self._ring:
+            bucket.clear()
+        self._ring_count = 0
+        self._ring_next = _NEVER
+        self._seq = 0
+        self.now = 0
+        self.now_vtime = 0
+        self.events_processed = 0
+        self._live = 0
+        self._cancelled_resident = 0
+        self.heap_compactions = 0
+        self.ring_events = 0
+        self.heap_events = 0
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

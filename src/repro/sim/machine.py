@@ -121,6 +121,55 @@ class Machine:
 
     # ------------------------------------------------------------------
 
+    def reset(
+        self,
+        programs: List[list],
+        seed: int = 0,
+        watchdog=None,
+        coalesce: bool = True,
+    ) -> None:
+        """Rewire this machine for a fresh run (machine-pool reuse).
+
+        Every component returns to its just-constructed state via its
+        ``reset()`` contract; only the CPUs and per-core stats — whose
+        objects escape into the returned :class:`RunStats` — are rebuilt.
+        A reset machine must be bit-identical to a freshly constructed
+        one (pinned by the pooled-vs-fresh equivalence suite).  Fault
+        plans are deliberately unsupported here: the injector monkey-
+        wires chaos hooks across components, so fault-injected runs
+        always build fresh machines.
+        """
+        if len(programs) > self.params.num_cores:
+            raise ConfigError(
+                f"{len(programs)} threads > {self.params.num_cores} cores"
+            )
+        self.seed = seed
+        self.coalesce = coalesce
+        self.watchdog = watchdog
+        self.replay_info = {
+            "seed": seed,
+            "system": self.spec.name,
+            "fault_plan": None,
+        }
+        self.engine.reset()
+        self.network.reset()
+        self.core_stats = [CoreStats() for _ in range(len(programs))]
+        self.manager.reset()
+        self.memsys.reset(self.core_stats)
+        self.wakeups.reset()
+        self.hl_arbiter.reset()
+        self.fallback_lock.reset()
+        self.injector = None
+        self.cpus = [
+            CPU(i, self.tile_of_core(i), self, prog, seed)
+            for i, prog in enumerate(programs)
+        ]
+        self.memsys.tx_states = [cpu.tx for cpu in self.cpus]
+        self._finished = 0
+        self.finish_times = [None] * len(programs)
+
+    # ------------------------------------------------------------------
+
     def tile_of_core(self, core: int) -> int:
         return core  # one core per tile, identity placement
 

@@ -1,0 +1,96 @@
+"""Reusable machine pool: amortize construction across runs.
+
+Building a :class:`~repro.sim.machine.Machine` allocates the event
+engine, the mesh/network model, per-core caches, the directory and all
+of the HTM mechanism objects.  For a single run that cost is noise; for
+a sweep executing thousands of cells per worker process it is pure
+overhead, because every component now supports an explicit ``reset()``
+contract returning it to its just-constructed state.
+
+The pool keys machines by ``(spec, params)`` — both frozen dataclasses —
+so a reused machine always has the exact geometry and policy wiring the
+run needs; only the programs, seed and per-run knobs are re-wired by
+:meth:`Machine.reset`.  Determinism is load-bearing and pinned by the
+pooled-vs-fresh equivalence suite: a run on a pooled machine is
+bit-identical to a run on a fresh one.
+
+Machines are only returned to the pool after a *successful* run
+(:func:`repro.sim.runner.run_workload` drops the machine on any error,
+since a half-run machine's state is unknown), and fault-injected runs
+never use the pool at all — the injector monkey-wires chaos hooks
+across components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.params import SystemParams
+from repro.core.policies import SystemSpec
+from repro.sim.machine import Machine
+
+
+class MachinePool:
+    """LIFO free-lists of reset-able machines, keyed by (spec, params)."""
+
+    def __init__(self, max_per_key: int = 4) -> None:
+        self.max_per_key = max_per_key
+        self._free: Dict[Tuple[SystemSpec, SystemParams], List[Machine]] = {}
+        self.builds = 0
+        self.reuses = 0
+        self.releases = 0
+
+    def acquire(
+        self,
+        params: SystemParams,
+        spec: SystemSpec,
+        programs: List[list],
+        seed: int = 0,
+        watchdog=None,
+        coalesce: bool = True,
+    ) -> Machine:
+        """A machine ready to run ``programs`` — reused when possible."""
+        free = self._free.get((spec, params))
+        if free:
+            machine = free.pop()
+            machine.reset(
+                programs, seed=seed, watchdog=watchdog, coalesce=coalesce
+            )
+            self.reuses += 1
+            return machine
+        self.builds += 1
+        return Machine(
+            params,
+            spec,
+            programs,
+            seed=seed,
+            watchdog=watchdog,
+            coalesce=coalesce,
+        )
+
+    def release(self, machine: Machine) -> None:
+        """Return a machine whose run completed cleanly."""
+        key = (machine.spec, machine.params)
+        free = self._free.setdefault(key, [])
+        if len(free) < self.max_per_key:
+            # Drop the bulk run state now (event queues, caches,
+            # directory, functional memory, CPUs) so parked machines
+            # stay small; acquire() still runs the full reset()
+            # contract before handing the machine out again.
+            machine.engine.reset()
+            machine.memsys.reset([])
+            machine.cpus = []
+            free.append(machine)
+        self.releases += 1
+
+    def clear(self) -> None:
+        self._free.clear()
+
+
+#: Process-wide pool used by the sweep cell runner; one per worker
+#: process, so no cross-process state is ever shared.
+_GLOBAL_POOL: MachinePool = MachinePool()
+
+
+def global_pool() -> MachinePool:
+    return _GLOBAL_POOL

@@ -43,6 +43,21 @@ class RunConfig:
     #: None (the default) leaves the machine completely unwrapped —
     #: telemetry-off runs are bit-identical to the seed goldens.
     telemetry: Optional[object] = None
+    #: Share WorkloadBuilds through the process-wide build cache: the
+    #: generator RNG stream runs once per distinct (workload, threads,
+    #: scale, seed) instead of once per run.  Builds are pure and never
+    #: mutated, so results are bit-identical (pinned by the shared-vs-
+    #: fresh golden test); False forces a fresh build.
+    share_build: bool = True
+    #: Machine reuse (repro.sim.pool): ``None`` (the default) acquires
+    #: from the process-global pool and returns the machine after a
+    #: clean run; ``False`` always constructs fresh; a MachinePool
+    #: instance uses that pool.  Pooled runs are bit-identical to fresh
+    #: ones (pinned by the pooled-vs-fresh equivalence suite).  The
+    #: pool is bypassed when a fault plan is armed — the injector
+    #: monkey-wires chaos hooks across components, so those runs build
+    #: fresh machines.
+    machine_pool: Optional[object] = None
 
 
 def run_workload(
@@ -57,17 +72,40 @@ def run_workload(
                 f"prebuilt workload has {len(build.programs)} programs, "
                 f"config wants {config.threads} threads"
             )
+    elif config.share_build:
+        from repro.workloads.buildcache import shared_builds
+
+        build = shared_builds().get(
+            workload, config.threads, config.scale, config.seed
+        )
     else:
         build = workload.build(config.threads, config.scale, config.seed)
-    machine = Machine(
-        config.params,
-        config.spec,
-        build.programs,
-        seed=config.seed,
-        fault_plan=config.fault_plan,
-        watchdog=config.watchdog,
-        coalesce=config.coalesce,
-    )
+    pool = config.machine_pool
+    if config.fault_plan is not None or pool is False:
+        pool = None
+    elif pool is None:
+        from repro.sim.pool import global_pool
+
+        pool = global_pool()
+    if pool is not None:
+        machine = pool.acquire(
+            config.params,
+            config.spec,
+            build.programs,
+            seed=config.seed,
+            watchdog=config.watchdog,
+            coalesce=config.coalesce,
+        )
+    else:
+        machine = Machine(
+            config.params,
+            config.spec,
+            build.programs,
+            seed=config.seed,
+            fault_plan=config.fault_plan,
+            watchdog=config.watchdog,
+            coalesce=config.coalesce,
+        )
     telemetry = config.telemetry
     if telemetry is not None:
         telemetry.attach(machine)
@@ -109,4 +147,8 @@ def run_workload(
                 f"{config.spec.name}, {config.threads} threads): "
                 + "; ".join(failures[:5])
             )
+    # Only a machine whose run (and checks) completed cleanly goes back
+    # to the pool; any raise above drops it — its state is unknown.
+    if pool is not None:
+        pool.release(machine)
     return stats

@@ -1,0 +1,168 @@
+"""Shared-build and pooled-machine equivalence suites.
+
+PR 7's structural reuse (shared WorkloadBuilds, the machine pool) is
+pure plumbing: a run on a shared build or a pooled machine must be
+bit-identical to a run on a fresh one.  These tests pin that over the
+full Table-II system set on the same contended cell the golden pins use
+(intruder / 4 threads / scale 0.05 / seed 3).
+"""
+
+import pytest
+
+from repro.common.params import typical_params
+from repro.harness.export import fingerprint
+from repro.harness.systems import TABLE_ORDER, get_system
+from repro.sim.machine import Machine
+from repro.sim.pool import MachinePool
+from repro.sim.runner import RunConfig, run_workload
+from repro.workloads.buildcache import BuildCache
+from repro.workloads.registry import get_workload
+
+
+def _cfg(system, threads=4, scale=0.05, seed=3, **kw):
+    # Reuse is what's under test, so default it OFF: the "fresh" runs
+    # these suites compare against must really build from scratch.
+    kw.setdefault("share_build", False)
+    kw.setdefault("machine_pool", False)
+    return RunConfig(
+        spec=get_system(system),
+        threads=threads,
+        scale=scale,
+        seed=seed,
+        **kw,
+    )
+
+
+class TestSharedBuildEquivalence:
+    def test_cache_returns_same_object_per_key(self):
+        cache = BuildCache()
+        wl = get_workload("ssca2")
+        a = cache.get(wl, 2, 0.05, 1)
+        b = cache.get(wl, 2, 0.05, 1)
+        assert a is b
+        assert (cache.hits, cache.misses) == (1, 1)
+        # int/float scale coordinates collapse to one build.
+        c = cache.get(wl, 2, 1, 1)
+        assert cache.get(wl, 2, 1.0, 1) is c
+
+    def test_lru_bound(self):
+        cache = BuildCache(max_entries=2)
+        wl = get_workload("ssca2")
+        first = cache.get(wl, 1, 0.05, 1)
+        cache.get(wl, 1, 0.05, 2)
+        cache.get(wl, 1, 0.05, 3)
+        assert len(cache) == 2
+        assert cache.get(wl, 1, 0.05, 1) is not first  # evicted, rebuilt
+
+    @pytest.mark.parametrize("workload", ["intruder", "vacation-"])
+    def test_shared_vs_fresh_bit_identical(self, workload):
+        wl = get_workload(workload)
+        fresh = run_workload(wl, _cfg("LockillerTM", share_build=False))
+        shared = run_workload(wl, _cfg("LockillerTM", share_build=True))
+        again = run_workload(wl, _cfg("LockillerTM", share_build=True))
+        assert fingerprint(shared) == fingerprint(fresh)
+        assert fingerprint(again) == fingerprint(fresh)
+
+
+class TestPooledVsFresh:
+    @pytest.mark.parametrize("system", TABLE_ORDER)
+    def test_table2_system_bit_identical(self, system):
+        wl = get_workload("intruder")
+        pool = MachinePool()
+        fresh = run_workload(wl, _cfg(system))
+        first = run_workload(wl, _cfg(system, machine_pool=pool))
+        reused = run_workload(wl, _cfg(system, machine_pool=pool))
+        assert pool.builds == 1 and pool.reuses == 1
+        assert fingerprint(first) == fingerprint(fresh)
+        assert fingerprint(reused) == fingerprint(fresh)
+
+    def test_reuse_across_thread_counts(self):
+        wl = get_workload("ssca2")
+        pool = MachinePool()
+        run_workload(wl, _cfg("LockillerTM", threads=4, machine_pool=pool))
+        fresh = run_workload(wl, _cfg("LockillerTM", threads=2))
+        pooled = run_workload(
+            wl, _cfg("LockillerTM", threads=2, machine_pool=pool)
+        )
+        assert pool.reuses == 1
+        assert fingerprint(pooled) == fingerprint(fresh)
+
+    def test_fault_plan_bypasses_pool(self):
+        from repro.resilience.faults import get_plan, plan_names
+
+        wl = get_workload("ssca2")
+        pool = MachinePool()
+        run_workload(
+            wl,
+            _cfg(
+                "CGL",
+                threads=2,
+                seed=1,
+                machine_pool=pool,
+                fault_plan=get_plan(plan_names()[0]),
+            ),
+        )
+        assert pool.builds == 0 and pool.reuses == 0 and pool.releases == 0
+
+    def test_default_config_uses_global_pool(self):
+        from repro.sim.pool import global_pool
+
+        wl = get_workload("ssca2")
+        gp = global_pool()
+        acquired = gp.builds + gp.reuses
+        released = gp.releases
+        run_workload(wl, _cfg("CGL", threads=2, seed=1, machine_pool=None))
+        run_workload(wl, _cfg("CGL", threads=2, seed=1, machine_pool=None))
+        assert gp.builds + gp.reuses >= acquired + 2
+        assert gp.releases >= released + 2
+        # machine_pool=False opts out entirely.
+        acquired = gp.builds + gp.reuses
+        run_workload(wl, _cfg("CGL", threads=2, seed=1))
+        assert gp.builds + gp.reuses == acquired
+
+    def test_release_scrubs_parked_state(self):
+        wl = get_workload("ssca2")
+        pool = MachinePool()
+        run_workload(wl, _cfg("CGL", threads=2, seed=1, machine_pool=pool))
+        (parked,) = next(iter(pool._free.values()))
+        assert parked.engine.now == 0
+        assert parked.engine.events_processed == 0
+        assert len(parked.memsys.directory) == 0
+        assert parked.cpus == []
+
+    def test_pool_caps_per_key(self):
+        wl = get_workload("ssca2")
+        pool = MachinePool(max_per_key=1)
+        cfg = _cfg("CGL", threads=2, seed=1, machine_pool=pool)
+        machines = [
+            pool.acquire(cfg.params, cfg.spec, [[], []]) for _ in range(3)
+        ]
+        for m in machines:
+            pool.release(m)
+        assert len(pool._free[(cfg.spec, cfg.params)]) == 1
+
+
+class TestMachineReset:
+    def test_reset_run_matches_fresh_run(self):
+        params = typical_params()
+        spec = get_system("LockillerTM")
+        build = get_workload("intruder").build(4, 0.05, 3)
+
+        fresh = Machine(params, spec, build.programs, seed=3)
+        want_cycles = fresh.run()
+
+        m = Machine(params, spec, build.programs, seed=3)
+        m.run()
+        m.reset(build.programs, seed=3)
+        assert m.engine.now == 0 and m.engine.events_processed == 0
+        assert m.network.messages_sent == 0
+        assert len(m.memsys.directory) == 0
+        got_cycles = m.run()
+        assert got_cycles == want_cycles
+        from repro.common.stats import RunStats
+
+        assert fingerprint(
+            RunStats(execution_cycles=got_cycles, cores=m.core_stats)
+        ) == fingerprint(
+            RunStats(execution_cycles=want_cycles, cores=fresh.core_stats)
+        )

@@ -78,6 +78,16 @@ class TestCellKey:
         monkeypatch.setattr(rc, "CACHE_SCHEMA_VERSION", 9999)
         assert cell_key(**_cell()) != before
 
+    def test_numeric_type_does_not_change_key(self):
+        # scale=1 (int) and scale=1.0 (float) describe the same cell and
+        # must land on the same cache entry; likewise bool-typed threads
+        # or numpy-style integral seeds collapsing to int.
+        assert cell_key(**_cell(scale=1)) == cell_key(**_cell(scale=1.0))
+        assert cell_key(**_cell(seed=1.0)) == cell_key(**_cell(seed=1))
+        assert cell_key(**_cell(threads=2.0)) == cell_key(**_cell(threads=2))
+        # Distinct values still hash apart.
+        assert cell_key(**_cell(scale=1)) != cell_key(**_cell(scale=2))
+
 
 class TestRunCache:
     def test_roundtrip(self, tmp_path):
@@ -100,6 +110,57 @@ class TestRunCache:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write("{ not json")
         assert cache.get_cell(**cell) is None
+
+    def test_corrupt_entry_unlinked_and_repaired(self, tmp_path):
+        """Corrupt entries are evicted so the next run re-stores cleanly."""
+        cell = _cell()
+        stats = _stats(cell)
+        cache = RunCache(str(tmp_path))
+        cache.put_cell(**cell, stats=stats)
+        path = cache.path_for(cell_key(**cell))
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{ not json")
+
+        # Corrupt read: a miss, and the poisoned file is gone.
+        assert cache.get_cell(**cell) is None
+        assert not os.path.exists(path)
+        assert (cache.hits, cache.misses, cache.stores) == (0, 1, 1)
+
+        # Repair: the re-store lands and the next get is a clean hit.
+        cache.put_cell(**cell, stats=stats)
+        loaded = cache.get_cell(**cell)
+        assert loaded is not None
+        assert fingerprint(loaded) == fingerprint(stats)
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 2)
+
+    def test_concurrent_same_key_puts(self, tmp_path):
+        """Threaded same-key puts must not interleave temp-file writes."""
+        import threading
+
+        cell = _cell()
+        stats = _stats(cell)
+        cache = RunCache(str(tmp_path))
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(5):
+                    cache.put_cell(**cell, stats=stats)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        loaded = cache.get_cell(**cell)
+        assert loaded is not None
+        assert fingerprint(loaded) == fingerprint(stats)
+        # No stray temp files survive the races.
+        shard = os.path.dirname(cache.path_for(cell_key(**cell)))
+        assert [f for f in os.listdir(shard) if ".tmp." in f] == []
 
     def test_stale_schema_entry_is_a_miss(self, tmp_path):
         cell = _cell()
@@ -163,6 +224,14 @@ class TestResolveJobs:
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             resolve_jobs(-1)
+
+    def test_malformed_env_names_variable_and_convention(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "all")
+        with pytest.raises(ValueError) as err:
+            resolve_jobs(None)
+        msg = str(err.value)
+        assert "REPRO_JOBS" in msg and "'all'" in msg
+        assert "0 = one worker per CPU" in msg
 
 
 class TestRunCells:
