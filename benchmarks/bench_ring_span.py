@@ -1,0 +1,92 @@
+"""Ring-span sweep: time the e2e cell at several near-future spans.
+
+The calendar ring captures events whose delay from ``now`` is under the
+span; everything else pays the heap.  PR 7 measured that with the
+original 64-cycle span ~88% of e2e events routed via the heap (directory
+round trips land just past 64 cycles), so the span is now a
+:class:`~repro.sim.engine.SimEngine` parameter and this script measures
+the candidates head-to-head on the standard e2e cell (vacation- /
+LockillerTM / 4 threads / scale 0.1 / seed 1).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_ring_span.py [--spans 64,128,256]
+
+Prints per-span median wall time plus the ring/heap event split, and
+names the winner.  The winner is committed as the module default
+``repro.sim.engine.RING_SPAN``; re-run this after changing protocol
+timings to revalidate the choice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import time
+
+from repro.harness.systems import get_system
+from repro.sim.machine import Machine
+from repro.workloads.registry import get_workload
+
+THREADS = 4
+SCALE = 0.1
+SEED = 1
+
+
+def time_span(build, spec, params, span: int, rounds: int):
+    """Median wall time (s) plus event-tier split for one span."""
+    times = []
+    ring = heap = cycles = 0
+    for _ in range(rounds):
+        machine = Machine(
+            params, spec, build.programs, seed=SEED, ring_span=span
+        )
+        t0 = time.perf_counter()
+        cycles = machine.run()
+        times.append(time.perf_counter() - t0)
+        ring = machine.engine.ring_events
+        heap = machine.engine.heap_events
+    return statistics.median(times), ring, heap, cycles
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--spans", default="64,128,256")
+    parser.add_argument("--rounds", type=int, default=7)
+    args = parser.parse_args()
+    spans = [int(s) for s in args.spans.split(",")]
+
+    from repro.common.params import typical_params
+
+    params = typical_params()
+    spec = get_system("LockillerTM")
+    build = get_workload("vacation-").build(THREADS, SCALE, SEED)
+
+    print(f"e2e cell: vacation-/LockillerTM/{THREADS}t/scale {SCALE}/seed {SEED}")
+    print(f"{'span':>6}  {'median ms':>10}  {'ring':>8}  {'heap':>8}  {'heap %':>6}")
+    results = []
+    baseline_cycles = None
+    for span in spans:
+        med, ring, heap, cycles = time_span(
+            build, spec, params, span, args.rounds
+        )
+        if baseline_cycles is None:
+            baseline_cycles = cycles
+        elif cycles != baseline_cycles:
+            raise SystemExit(
+                f"span {span} changed simulated cycles "
+                f"({cycles} != {baseline_cycles}) — ring span must be "
+                "timing-invisible"
+            )
+        total = ring + heap
+        print(
+            f"{span:>6}  {med * 1e3:>10.3f}  {ring:>8}  {heap:>8}  "
+            f"{100.0 * heap / total:>5.1f}%"
+        )
+        results.append((med, span))
+    best = min(results)
+    print(f"winner: span {best[1]} ({best[0] * 1e3:.3f} ms median)")
+
+
+if __name__ == "__main__":
+    main()

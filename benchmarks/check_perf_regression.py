@@ -14,20 +14,33 @@ Two modes, one file format:
   anything subtler than that belongs in a local A/B with
   ``python -m repro profile``, not a CI gate.
 
+A third mode reads the whole committed history:
+
+* ``history`` — walk every ``BENCH_PR*.json`` at the repo root in PR
+  order and emit a per-case median trajectory with the cumulative
+  speedup each case has accumulated since it was first measured.  CI
+  appends the markdown rendering to ``$GITHUB_STEP_SUMMARY`` so each
+  run's job summary carries the full perf story, not just the latest
+  gate verdict.
+
 Usage::
 
     python benchmarks/check_perf_regression.py snapshot run.json \
-        --out BENCH_PR7.json [--before OLD.json] [--label "PR 7"]
+        --out BENCH_PR8.json [--before OLD.json] [--label "PR 8"]
     python benchmarks/check_perf_regression.py check run.json \
-        --baseline BENCH_PR7.json [--tolerance 0.25]
+        --baseline BENCH_PR8.json [--tolerance 0.25]
+    python benchmarks/check_perf_regression.py history [--markdown]
 """
 
 from __future__ import annotations
 
 import argparse
+import glob as _glob
 import json
+import os
+import re
 import sys
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 SCHEMA = "bench-snapshot/1"
 
@@ -134,6 +147,88 @@ def check(bench_json: str, baseline: str, tolerance: float) -> int:
     return 0
 
 
+def _snapshot_order(path: str) -> int:
+    """PR number from a ``BENCH_PR<N>.json`` filename (walk order)."""
+    m = re.search(r"PR(\d+)", os.path.basename(path))
+    return int(m.group(1)) if m else 0
+
+
+def history(snapshots: List[str], markdown: bool) -> int:
+    """Cumulative-speedup trajectory across the committed snapshots.
+
+    One row per benchmark case; one column per snapshot (its
+    ``after_ms`` gate statistic); a final column with the cumulative
+    speedup relative to the case's *earliest known* number — the
+    ``before_ms`` folded into its first snapshot when present, else its
+    first ``after_ms``.  Cases missing from a snapshot (added later /
+    retired) render as ``-``.
+    """
+    if not snapshots:
+        print("no BENCH_*.json snapshots found", file=sys.stderr)
+        return 1
+    snapshots = sorted(snapshots, key=_snapshot_order)
+    docs = []
+    for path in snapshots:
+        with open(path, encoding="utf-8") as fh:
+            docs.append((os.path.basename(path), json.load(fh)))
+
+    names = sorted({n for _p, d in docs for n in d.get("cases", {})})
+    cols = [re.sub(r"^BENCH_|\.json$", "", p) for p, _d in docs]
+    rows = []
+    for name in names:
+        first: Optional[float] = None
+        last: Optional[float] = None
+        cells = []
+        for _path, doc in docs:
+            case = doc.get("cases", {}).get(name)
+            if case is None:
+                cells.append(None)
+                continue
+            if first is None and case.get("before_ms"):
+                first = case["before_ms"].get(GATE_STAT)
+            val = case["after_ms"][GATE_STAT]
+            if first is None:
+                first = val
+            last = val
+            cells.append(val)
+        cum = first / last if first and last else None
+        rows.append((name, cells, cum))
+
+    if markdown:
+        lines = [
+            "### Perf trajectory (median ms per case, cumulative speedup)",
+            "",
+            "| case | " + " | ".join(cols) + " | cumulative |",
+            "|" + "---|" * (len(cols) + 2),
+        ]
+        for name, cells, cum in rows:
+            rendered = [
+                f"{c:.2f}" if c is not None else "-" for c in cells
+            ]
+            cum_s = f"**{cum:.2f}x**" if cum else "-"
+            lines.append(
+                f"| `{name}` | " + " | ".join(rendered) + f" | {cum_s} |"
+            )
+        out = "\n".join(lines)
+        print(out)
+        step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+        if step_summary:
+            with open(step_summary, "a", encoding="utf-8") as fh:
+                fh.write(out + "\n")
+    else:
+        width = max(len(n) for n in names) + 2
+        head = "".join(f"{c:>14s}" for c in cols)
+        print(f"{'case':<{width}s}{head}{'cumulative':>14s}")
+        for name, cells, cum in rows:
+            rendered = "".join(
+                f"{c:>14.3f}" if c is not None else f"{'-':>14s}"
+                for c in cells
+            )
+            cum_s = f"{cum:.2f}x" if cum else "-"
+            print(f"{name:<{width}s}{rendered}{cum_s:>14s}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -151,10 +246,32 @@ def main(argv=None) -> int:
     chk.add_argument("--baseline", required=True)
     chk.add_argument("--tolerance", type=float, default=0.25)
 
+    hist = sub.add_parser(
+        "history", help="cumulative-speedup trajectory across snapshots"
+    )
+    hist.add_argument(
+        "snapshots",
+        nargs="*",
+        help="snapshot files (default: BENCH_*.json beside the repo root)",
+    )
+    hist.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a markdown table (appended to $GITHUB_STEP_SUMMARY too)",
+    )
+
     args = parser.parse_args(argv)
     if args.cmd == "snapshot":
         return snapshot(args.bench_json, args.out, args.before,
                         args.label, args.before_label)
+    if args.cmd == "history":
+        snapshots = args.snapshots or _glob.glob(
+            os.path.join(
+                os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                "BENCH_*.json",
+            )
+        )
+        return history(snapshots, args.markdown)
     return check(args.bench_json, args.baseline, args.tolerance)
 
 

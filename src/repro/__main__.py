@@ -4,7 +4,8 @@ Adds the performance tooling entry point::
 
     python -m repro profile <workload> [--system S] [--threads N]
         [--scale F] [--seed N] [--top N] [--sort cumulative|tottime]
-        [--no-coalesce]
+        [--no-coalesce] [--save out.json]
+    python -m repro profile --compare before.json after.json
 
 and forwards every other command (``run``, ``sweep``, ``fig*``,
 ``metrics``, ``timeline``, ...) to :mod:`repro.harness.cli`, so the
@@ -19,13 +20,21 @@ from typing import List, Optional
 
 
 def _profile_main(argv: List[str]) -> int:
-    from repro.harness.profiling import profile_run
+    from repro.harness.profiling import (
+        compare_reports,
+        load_report,
+        profile_run,
+    )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro profile",
         description="cProfile one run and attribute events per subsystem",
     )
-    parser.add_argument("workload", help="workload name (e.g. vacation-)")
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        help="workload name (e.g. vacation-); omit with --compare",
+    )
     parser.add_argument("--system", default="LockillerTM")
     parser.add_argument("--threads", "--cores", type=int, default=4)
     parser.add_argument("--scale", type=float, default=0.1)
@@ -43,7 +52,23 @@ def _profile_main(argv: List[str]) -> int:
         action="store_true",
         help="profile the reference per-op interpreter instead",
     )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        help="also write the report as JSON (input for --compare)",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BEFORE", "AFTER"),
+        help="diff two saved reports' attribution tables and exit",
+    )
     args = parser.parse_args(argv)
+    if args.compare:
+        print(compare_reports(*(load_report(p) for p in args.compare)))
+        return 0
+    if args.workload is None:
+        parser.error("workload is required unless --compare is given")
     report = profile_run(
         args.workload,
         system=args.system,
@@ -55,6 +80,8 @@ def _profile_main(argv: List[str]) -> int:
         coalesce=not args.no_coalesce,
     )
     print(report.render())
+    if args.save:
+        report.save(args.save)
     return 0
 
 

@@ -13,11 +13,23 @@ Conflict detection is eager (on the request path), exactly like the
 modeled best-effort HTM: the global ``tx_readers`` / ``tx_writers`` maps
 index which cores hold each line transactionally, and the two LLC
 overflow signatures cover the HTMLock-mode transaction's spilled lines.
+
+The tracking maps store **core bitmasks** (one int per line, bit
+``1 << core``), mirroring how limited-set HTMs keep per-line sharer
+metadata as compact bit vectors: the conflict pre-check is two dict
+probes and an integer compare, membership updates are bit ops with no
+set allocation, and holder enumeration walks the set bits in ascending
+core order — which equals the CPython small-int set iteration order the
+previous representation exposed for the modeled core counts (see
+docs/PERFORMANCE.md PR 8 for the determinism argument).  The conflict
+manager's :class:`~repro.core.conflict.Resolution` API still receives
+materialized :class:`HolderInfo` records, so ``repro.core.conflict`` is
+untouched.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import ProtocolInvariantError
 from repro.common.params import SystemParams
@@ -111,9 +123,10 @@ class MemorySystem:
         self.directory = Directory()
         #: Committed functional memory image (word address -> value).
         self.memory: Dict[int, int] = {}
-        #: line -> set of cores holding it in a transactional read set.
-        self.tx_readers: Dict[int, Set[int]] = {}
-        self.tx_writers: Dict[int, Set[int]] = {}
+        #: line -> bitmask of cores holding it in a transactional read
+        #: set (bit ``1 << core``); absent line == empty mask.
+        self.tx_readers: Dict[int, int] = {}
+        self.tx_writers: Dict[int, int] = {}
         #: Registered per-core transactional state (wired by Machine).
         self.tx_states: List[TxState] = []
         #: HTMLock overflow signatures; valid while ``sig_owner >= 0``.
@@ -203,22 +216,14 @@ class MemorySystem:
     # ------------------------------------------------------------------
 
     def _track(self, core: int, line: int, is_write: bool, tx: TxState) -> None:
-        # get-then-add instead of setdefault: setdefault allocates a
-        # throwaway set on every call for an already-tracked line.
         if is_write:
             tx.write_set.add(line)
-            holders = self.tx_writers.get(line)
-            if holders is None:
-                self.tx_writers[line] = {core}
-            else:
-                holders.add(core)
+            holders = self.tx_writers
+            holders[line] = holders.get(line, 0) | (1 << core)
         else:
             tx.read_set.add(line)
-            holders = self.tx_readers.get(line)
-            if holders is None:
-                self.tx_readers[line] = {core}
-            else:
-                holders.add(core)
+            holders = self.tx_readers
+            holders[line] = holders.get(line, 0) | (1 << core)
 
     def discard_tx(self, core: int) -> None:
         """Drop all transactional tracking for ``core`` (abort path).
@@ -235,19 +240,24 @@ class MemorySystem:
         readers = self.tx_readers
         writers = self.tx_writers
         directory = self.directory
+        nbit = ~(1 << core)
         for line in tx.read_set:
-            s = readers.get(line)
-            if s is not None:
-                s.discard(core)
-                if not s:
+            m = readers.get(line)
+            if m is not None:
+                m &= nbit
+                if m:
+                    readers[line] = m
+                else:
                     del readers[line]
             self._purge_private(core, line)
             directory.remove_copy(line, core)
         for line in tx.write_set:
-            s = writers.get(line)
-            if s is not None:
-                s.discard(core)
-                if not s:
+            m = writers.get(line)
+            if m is not None:
+                m &= nbit
+                if m:
+                    writers[line] = m
+                else:
                     del writers[line]
             self._purge_private(core, line)
             directory.remove_copy(line, core)
@@ -261,17 +271,22 @@ class MemorySystem:
         tx = self.tx_states[core]
         readers = self.tx_readers
         writers = self.tx_writers
+        nbit = ~(1 << core)
         for line in tx.read_set:
-            s = readers.get(line)
-            if s is not None:
-                s.discard(core)
-                if not s:
+            m = readers.get(line)
+            if m is not None:
+                m &= nbit
+                if m:
+                    readers[line] = m
+                else:
                     del readers[line]
         for line in tx.write_set:
-            s = writers.get(line)
-            if s is not None:
-                s.discard(core)
-                if not s:
+            m = writers.get(line)
+            if m is not None:
+                m &= nbit
+                if m:
+                    writers[line] = m
+                else:
                     del writers[line]
         tx.read_set.clear()
         tx.write_set.clear()
@@ -300,22 +315,27 @@ class MemorySystem:
             )
         self.sig_owner = core
         spilled = False
+        nbit = ~(1 << core)
         if line in tx.write_set:
             self.of_wr_sig.insert(line)
             tx.write_set.discard(line)
-            s = self.tx_writers.get(line)
-            if s is not None:
-                s.discard(core)
-                if not s:
+            m = self.tx_writers.get(line)
+            if m is not None:
+                m &= nbit
+                if m:
+                    self.tx_writers[line] = m
+                else:
                     del self.tx_writers[line]
             spilled = True
         if line in tx.read_set:
             self.of_rd_sig.insert(line)
             tx.read_set.discard(line)
-            s = self.tx_readers.get(line)
-            if s is not None:
-                s.discard(core)
-                if not s:
+            m = self.tx_readers.get(line)
+            if m is not None:
+                m &= nbit
+                if m:
+                    self.tx_readers[line] = m
+                else:
                     del self.tx_readers[line]
             spilled = True
         if not spilled:
@@ -363,34 +383,38 @@ class MemorySystem:
     ) -> List[HolderInfo]:
         holders: List[HolderInfo] = []
         provider = self.manager.priority_provider
-        writers = self.tx_writers.get(line)
-        if writers:
-            for c in writers:
-                if c != core:
-                    tx = self.tx_states[c]
-                    holders.append(
-                        HolderInfo(
-                            c,
-                            tx.mode,
-                            provider.priority_of(tx, now),
-                            holds_as_writer=True,
-                        )
-                    )
+        own_bit = 1 << core
+        wmask = self.tx_writers.get(line, 0)
+        m = wmask & ~own_bit
+        while m:
+            low = m & -m
+            m -= low
+            c = low.bit_length() - 1
+            tx = self.tx_states[c]
+            holders.append(
+                HolderInfo(
+                    c,
+                    tx.mode,
+                    provider.priority_of(tx, now),
+                    holds_as_writer=True,
+                )
+            )
         if is_write:
-            readers = self.tx_readers.get(line)
-            if readers:
-                seen = {h.core for h in holders}
-                for c in readers:
-                    if c != core and c not in seen:
-                        tx = self.tx_states[c]
-                        holders.append(
-                            HolderInfo(
-                                c,
-                                tx.mode,
-                                provider.priority_of(tx, now),
-                                holds_as_writer=False,
-                            )
-                        )
+            # Readers not already reported as writers, ascending core id.
+            m = self.tx_readers.get(line, 0) & ~own_bit & ~wmask
+            while m:
+                low = m & -m
+                m -= low
+                c = low.bit_length() - 1
+                tx = self.tx_states[c]
+                holders.append(
+                    HolderInfo(
+                        c,
+                        tx.mode,
+                        provider.priority_of(tx, now),
+                        holds_as_writer=False,
+                    )
+                )
         # HTMLock overflow signatures (§III-B): checked at the LLC while
         # an HTMLock-mode transaction is live.
         sig_owner = self.sig_owner
@@ -484,12 +508,12 @@ class MemorySystem:
                 pinned is not None
                 and outer.set_occupancy(line) >= outer_params.assoc
             ):
-                victim = self._find_unpinned_victim(outer, line, pinned)
+                victim = outer.find_unpinned_victim(line, pinned)
                 if victim is None:
                     if tx.mode.is_lock_mode:
                         # HTMLock mode survives overflow: spill the LRU
                         # set entry into the LLC signatures and continue.
-                        spill_line = self._lru_line(outer, line)
+                        spill_line = outer.lru_line(line)
                         self.spill_to_signature(core, spill_line)
                         # charge the notification to the LLC (Fig. 5 (2))
                         extra = self.network.control_latency(
@@ -560,16 +584,15 @@ class MemorySystem:
         # conflict-free miss the full holder/priority/resolution
         # machinery allocates three objects just to conclude "granted,
         # no victims" — detect that case directly from the tracking
-        # maps.  Any other core in the maps, or live overflow
-        # signatures, takes the full resolution path (which also owns
-        # the signature_rejects accounting).
+        # masks (two dict probes + integer compares).  Any other core's
+        # bit, or live overflow signatures, takes the full resolution
+        # path (which also owns the signature_rejects accounting).
+        own_bit = 1 << core
         writers = self.tx_writers.get(line)
-        conflict_free = not writers or (core in writers and len(writers) == 1)
+        conflict_free = not writers or writers == own_bit
         if conflict_free and is_write:
             readers = self.tx_readers.get(line)
-            conflict_free = not readers or (
-                core in readers and len(readers) == 1
-            )
+            conflict_free = not readers or readers == own_bit
         if conflict_free and self.sig_owner >= 0 and self.sig_owner != core:
             conflict_free = False
 
@@ -781,24 +804,21 @@ class MemorySystem:
         else:  # pragma: no cover - inclusion guarantees presence
             self.l2s[core].insert(line, MESI.S)
 
-    @staticmethod
-    def _find_unpinned_victim(
-        l1: CacheArray, line: int, pinned: Callable[[int], bool]
-    ) -> Optional[int]:
-        idx = l1.params.set_index(line)
-        for cand in l1._sets.get(idx, ()):  # LRU order, oldest first
-            if not pinned(cand):
-                return cand
-        return None
-
-    @staticmethod
-    def _lru_line(l1: CacheArray, line: int) -> int:
-        ways = l1._sets[l1.params.set_index(line)]
-        return ways[0]
-
     def _back_invalidate(self, line: int, now: int) -> None:
         """Inclusion victim: purge upstream copies; tx holders overflow."""
-        for c in list(self.directory.copies(line)):
+        # Read the held entry directly instead of materializing a set
+        # copy per call; the snapshot list is still needed because the
+        # purge/spill/abort calls below mutate the sharer set.
+        e = self.directory.peek(line)
+        if e is None:
+            return
+        if e.owner >= 0:
+            cores = (e.owner,)
+        elif e.sharers:
+            cores = list(e.sharers)
+        else:
+            return
+        for c in cores:
             tx = self.tx_states[c]
             in_tx_set = line in tx.read_set or line in tx.write_set
             if in_tx_set:
@@ -824,12 +844,14 @@ class MemorySystem:
         """
         mem = registry.scope("mem")
         mem.set("memory_words", len(self.memory))
-        mem.set("llc_lines", len(self.llc.resident_lines()))
+        # len(array) is O(1) on both backends; resident_lines() would
+        # materialize a list per array on the packed one.
+        mem.set("llc_lines", len(self.llc))
         for i, l1 in enumerate(self.l1s):
-            mem.set(f"l1.{i}.lines", len(l1.resident_lines()))
+            mem.set(f"l1.{i}.lines", len(l1))
         if self.l2s is not None:
             for i, l2 in enumerate(self.l2s):
-                mem.set(f"l2.{i}.lines", len(l2.resident_lines()))
+                mem.set(f"l2.{i}.lines", len(l2))
 
         # Directory bank census (address-interleaved home tiles).
         dir_scope = registry.scope("dir")

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import cProfile
 import io
+import json
 import pstats
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.params import SystemParams, typical_params
@@ -94,6 +95,79 @@ class ProfileReport:
                 lines.append(f"{'':>12s}{key:<24s}{counters[key]}")
         lines += ["", "-- hottest functions --", self.stats_text.rstrip()]
         return "\n".join(lines)
+
+    def save(self, path: str) -> None:
+        """Persist the report as JSON (``profile --save``).
+
+        Everything needed by :func:`compare_reports` round-trips; the
+        pstats text is kept verbatim for human inspection.
+        """
+        with open(path, "w") as fh:
+            json.dump(asdict(self), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def load_report(path: str) -> ProfileReport:
+    """Load a report previously written by :meth:`ProfileReport.save`."""
+    with open(path) as fh:
+        data = json.load(fh)
+    return ProfileReport(**data)
+
+
+def compare_reports(before: ProfileReport, after: ProfileReport) -> str:
+    """Render an attribution diff between two profile runs.
+
+    The before/after per-subsystem counter tables are joined on
+    (subsystem, counter); rows show before, after and the delta, so a
+    hot-path change reads as "dir round trips -38%, everything else
+    flat".  Wall-clock and throughput move in the header.  Comparing
+    runs of different cells is allowed (that is sometimes the point —
+    e.g. coalesce on/off) but flagged.
+    """
+    lines = []
+    cell_b = (before.workload, before.system, before.threads,
+              before.scale, before.seed)
+    cell_a = (after.workload, after.system, after.threads,
+              after.scale, after.seed)
+    lines.append(
+        f"before: {before.workload} on {before.system} "
+        f"({before.threads}t, scale {before.scale}, seed {before.seed}) "
+        f"wall {before.wall_seconds * 1e3:.1f} ms"
+    )
+    lines.append(
+        f"after:  {after.workload} on {after.system} "
+        f"({after.threads}t, scale {after.scale}, seed {after.seed}) "
+        f"wall {after.wall_seconds * 1e3:.1f} ms"
+    )
+    if cell_b != cell_a:
+        lines.append("warning: comparing different cells")
+    if before.wall_seconds > 0 and after.wall_seconds > 0:
+        lines.append(
+            f"speedup: {before.wall_seconds / after.wall_seconds:.2f}x wall"
+            f" | events/s {before.events_per_second:,.0f} -> "
+            f"{after.events_per_second:,.0f}"
+            f" | cycles/s {before.cycles_per_second:,.0f} -> "
+            f"{after.cycles_per_second:,.0f}"
+        )
+    lines += ["", "-- per-subsystem attribution diff --"]
+    header = f"{'counter':<34s}{'before':>12s}{'after':>12s}{'delta':>12s}"
+    lines.append(header)
+    subsystems = sorted(set(before.subsystems) | set(after.subsystems))
+    for name in subsystems:
+        b_counters = before.subsystems.get(name, {})
+        a_counters = after.subsystems.get(name, {})
+        keys = sorted(set(b_counters) | set(a_counters))
+        for key in keys:
+            b = b_counters.get(key, 0)
+            a = a_counters.get(key, 0)
+            if b == a:
+                delta = "="
+            elif b == 0:
+                delta = "new"
+            else:
+                delta = f"{100.0 * (a - b) / b:+.1f}%"
+            lines.append(f"{name + '.' + key:<34s}{b:>12}{a:>12}{delta:>12s}")
+    return "\n".join(lines)
 
 
 def subsystem_breakdown(

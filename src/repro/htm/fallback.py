@@ -140,6 +140,8 @@ class LockManager:
 
     def cancel_wait(self, core: int) -> None:
         """Drop any elision subscription for ``core`` (abort cleanup)."""
-        self._elision_waiters = [
-            (c, cb) for c, cb in self._elision_waiters if c != core
-        ]
+        waiters = self._elision_waiters
+        if any(c == core for c, _cb in waiters):
+            self._elision_waiters = [
+                (c, cb) for c, cb in waiters if c != core
+            ]

@@ -21,20 +21,32 @@ the event being processed is exposed as :attr:`SimEngine.now_vtime`.
 
 Two storage tiers share that order (the hot-path layout):
 
-* a **near-future bucket ring** (a 64-slot calendar queue) holds events
-  whose delay from ``now`` is under :data:`RING_SPAN` cycles — the vast
-  majority in a cycle-accurate CMP model (cache latencies, per-burst
-  continuations, wake-ups).  Insertion is a plain ``list.append``; a
-  bucket is sorted once when its cycle is drained (almost always
-  already in order — Timsort makes that a linear scan) and walked with
-  no heap sifting.
-* a binary **heap** of ``(time, vtime, seq, token, fn)`` keeps the
-  long-delay tail (back-off, timeouts).  When the heap holds events for
-  the cycle being drained they are spilled into the bucket first, so
-  one sorted walk covers both tiers.
+* a **near-future bucket ring** (a calendar queue of
+  :data:`RING_SPAN` slots, overridable per engine) holds events whose
+  delay from ``now`` is under the span — the vast majority in a
+  cycle-accurate CMP model (cache latencies, directory round trips,
+  per-burst continuations, wake-ups).  Insertion is a plain
+  ``list.append``; a bucket is sorted once when its cycle is drained
+  (almost always already in order — Timsort makes that a linear scan)
+  and walked with no heap sifting.  "Earliest non-empty slot >= t" is
+  a plain slot walk — the dominant chained-dispatch path short-circuits
+  it with an inline ``t + 1`` probe, so actual scans are rare (a
+  per-slot occupancy bitmask was tried and lost; see
+  :meth:`SimEngine._scan_ring_next`).
+* a binary **heap** keeps the long-delay tail (back-off, timeouts).
+  When the heap holds events for the cycle being drained they are
+  spilled into the bucket first, so one sorted walk covers both tiers.
+
+Both tiers carry **slab event records**: recycled 5-slot field arrays
+``[time, vtime, seq, token, fn]`` drawn from a freelist, so the
+``schedule_after_nocancel`` fast path allocates nothing at steady state
+— a fired record goes back on the freelist and the next schedule reuses
+it in place.  Records compare elementwise exactly like the tuples they
+replace (``seq`` is globally unique, so a comparison never reaches the
+token field), which keeps heap ordering and the bucket sort bit-exact.
 
 A bucket is single-epoch by construction: an entry lands in slot
-``when & 63`` only while ``now <= when < now + RING_SPAN``, and the
+``when & (span - 1)`` only while ``now <= when < now + span``, and the
 engine never advances past a pending ring event, so a slot never mixes
 entries for two different cycles.
 
@@ -52,16 +64,21 @@ variants, which share one immortal token.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.common.errors import EventBudgetError, SimulationError
 
 EventFn = Callable[[int], None]
 
-#: Ring geometry: delays in ``[0, RING_SPAN)`` are bucketed; power of
-#: two so the slot index is a mask away.
+#: Default ring geometry: delays in ``[0, RING_SPAN)`` are bucketed;
+#: power of two so the slot index is a mask away.  64 is the measured
+#: end-to-end winner of the 64/128/256 sweep (benchmarks/
+#: bench_ring_span.py; numbers in docs/PERFORMANCE.md PR 8): although
+#: ~80% of e2e events carry directory-round-trip delays past 64 cycles
+#: and route via the heap, heapq's C push/pop on the resulting small
+#: heap beats the wider ring's longer empty-slot scans — the "ring
+#: sized for the common case" worry measured as a non-problem.
 RING_SPAN = 64
-_RING_MASK = RING_SPAN - 1
 
 #: Sentinel "infinitely far" time for empty-tier comparisons.
 _NEVER = float("inf")
@@ -95,6 +112,10 @@ class EventToken:
 #: and never consumed on fire.
 _IMMORTAL = EventToken()
 
+#: Slab record layout: [time, vtime, seq, token, fn].
+_TOK = 3
+_FN = 4
+
 
 class SimEngine:
     """Calendar-queue + heap event scheduler in whole cycles."""
@@ -104,6 +125,9 @@ class SimEngine:
         "_ring",
         "_ring_count",
         "_ring_next",
+        "_span",
+        "_mask",
+        "_free",
         "_seq",
         "now",
         "now_vtime",
@@ -116,14 +140,25 @@ class SimEngine:
         "heap_events",
     )
 
-    def __init__(self, max_events: int = 200_000_000) -> None:
-        #: Long-delay tier: (time, vtime, seq, token, fn).
-        self._heap: List[Tuple[int, int, int, EventToken, EventFn]] = []
-        #: Near-future tier: 64 buckets of (vtime, seq, token, fn).
-        self._ring: List[list] = [[] for _ in range(RING_SPAN)]
+    def __init__(
+        self, max_events: int = 200_000_000, ring_span: int = RING_SPAN
+    ) -> None:
+        if ring_span <= 0 or ring_span & (ring_span - 1):
+            raise SimulationError(
+                f"ring_span must be a positive power of two, got {ring_span}"
+            )
+        self._span = ring_span
+        self._mask = ring_span - 1
+        #: Long-delay tier of slab records [time, vtime, seq, token, fn].
+        self._heap: List[list] = []
+        #: Near-future tier: ``ring_span`` buckets of slab records.
+        self._ring: List[list] = [[] for _ in range(ring_span)]
         self._ring_count = 0
         #: Earliest cycle holding a ring entry (``_NEVER`` when empty).
         self._ring_next = _NEVER
+        #: Recycled slab records (freelist reuse — no per-event
+        #: allocation at steady state).
+        self._free: List[list] = []
         self._seq = 0
         self.now = 0
         #: vtime of the event currently being processed.
@@ -139,13 +174,19 @@ class SimEngine:
         self.ring_events = 0
         self.heap_events = 0
 
+    @property
+    def ring_span(self) -> int:
+        return self._span
+
     def reset(self) -> None:
         """Return to the just-constructed state (machine-pool reuse).
 
         Everything observable — clock, sequence counter, both storage
         tiers, live/cancelled accounting, telemetry counters — starts
         over, so a run on a reset engine is bit-identical to a run on a
-        fresh one.
+        fresh one.  The slab freelist is deliberately *kept*: recycled
+        records carry no observable state (token/fn are cleared on
+        recycle) and reusing them across runs is the point of pooling.
         """
         self._heap.clear()
         for bucket in self._ring:
@@ -162,19 +203,33 @@ class SimEngine:
         self.ring_events = 0
         self.heap_events = 0
 
+    def trim_slab(self) -> None:
+        """Drop the recycled-record freelist (parked-machine slimming)."""
+        self._free.clear()
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
 
     def _insert(self, when: int, vtime: int, token: EventToken, fn: EventFn) -> None:
-        if when - self.now < RING_SPAN:
-            self._ring[when & _RING_MASK].append((vtime, self._seq, token, fn))
+        free = self._free
+        if free:
+            rec = free.pop()
+            rec[0] = when
+            rec[1] = vtime
+            rec[2] = self._seq
+            rec[3] = token
+            rec[4] = fn
+        else:
+            rec = [when, vtime, self._seq, token, fn]
+        if when - self.now < self._span:
+            self._ring[when & self._mask].append(rec)
             self._ring_count += 1
             self.ring_events += 1
             if when < self._ring_next:
                 self._ring_next = when
         else:
-            heapq.heappush(self._heap, (when, vtime, self._seq, token, fn))
+            heapq.heappush(self._heap, rec)
             self.heap_events += 1
         self._seq += 1
         self._live += 1
@@ -196,15 +251,25 @@ class SimEngine:
             raise SimulationError(f"negative delay {delay}")
         token = EventToken(self)
         now = self.now
-        if delay < RING_SPAN:
-            when = now + delay
-            self._ring[when & _RING_MASK].append((now, self._seq, token, fn))
+        when = now + delay
+        free = self._free
+        if free:
+            rec = free.pop()
+            rec[0] = when
+            rec[1] = now
+            rec[2] = self._seq
+            rec[3] = token
+            rec[4] = fn
+        else:
+            rec = [when, now, self._seq, token, fn]
+        if delay < self._span:
+            self._ring[when & self._mask].append(rec)
             self._ring_count += 1
             self.ring_events += 1
             if when < self._ring_next:
                 self._ring_next = when
         else:
-            heapq.heappush(self._heap, (now + delay, now, self._seq, token, fn))
+            heapq.heappush(self._heap, rec)
             self.heap_events += 1
         self._seq += 1
         self._live += 1
@@ -213,26 +278,34 @@ class SimEngine:
     def schedule_after_nocancel(self, delay: int, fn: EventFn) -> None:
         """No-allocation ``schedule_after`` for never-cancelled events.
 
-        The entry shares one immortal token, so no :class:`EventToken`
-        is allocated and nothing is returned.  Use only when no code
-        path can want to cancel the event; the event budget and the
-        ``(time, vtime, seq)`` total order apply exactly as for the
-        token path.
+        The entry shares one immortal token and reuses a recycled slab
+        record, so nothing is allocated and nothing is returned.  Use
+        only when no code path can want to cancel the event; the event
+        budget and the ``(time, vtime, seq)`` total order apply exactly
+        as for the token path.
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         now = self.now
-        if delay < RING_SPAN:
-            when = now + delay
-            self._ring[when & _RING_MASK].append((now, self._seq, _IMMORTAL, fn))
+        when = now + delay
+        free = self._free
+        if free:
+            rec = free.pop()
+            rec[0] = when
+            rec[1] = now
+            rec[2] = self._seq
+            rec[3] = _IMMORTAL
+            rec[4] = fn
+        else:
+            rec = [when, now, self._seq, _IMMORTAL, fn]
+        if delay < self._span:
+            self._ring[when & self._mask].append(rec)
             self._ring_count += 1
             self.ring_events += 1
             if when < self._ring_next:
                 self._ring_next = when
         else:
-            heapq.heappush(
-                self._heap, (now + delay, now, self._seq, _IMMORTAL, fn)
-            )
+            heapq.heappush(self._heap, rec)
             self.heap_events += 1
         self._seq += 1
         self._live += 1
@@ -301,32 +374,54 @@ class SimEngine:
     def _compact_heap(self) -> None:
         """Drop cancelled entries from the heap and re-heapify.
 
-        Ring corpses are left alone: they drain within RING_SPAN cycles
+        Ring corpses are left alone: they drain within the ring span
         anyway.  Compaction preserves the (time, vtime, seq) order of
-        live events, so it is invisible to the simulation.
+        live events, so it is invisible to the simulation.  Dropped
+        records are recycled onto the slab freelist.
         """
         heap = self._heap
-        kept = [e for e in heap if not e[3].cancelled]
+        free = self._free
+        kept = []
+        for rec in heap:
+            if rec[_TOK].cancelled:
+                rec[_TOK] = None
+                rec[_FN] = None
+                free.append(rec)
+            else:
+                kept.append(rec)
         removed = len(heap) - len(kept)
         if removed:
             heapq.heapify(kept)
             self._heap = kept
             self._cancelled_resident -= removed
             self.heap_compactions += 1
+        # No removals: the corpses must stay where they are (they were
+        # appended to `free` only when dropped, so nothing to undo).
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
 
     def _scan_ring_next(self, start: int) -> None:
-        """Recompute ``_ring_next``: earliest ring cycle >= ``start``."""
+        """Recompute ``_ring_next``: earliest ring cycle >= ``start``.
+
+        A plain slot walk.  An occupancy bitmask (bit per slot, rotate
+        + lowest-set-bit probe) was tried here and *lost*: its
+        per-event set/clear upkeep taxes the dominant chained-dispatch
+        path, which never scans at all (the inline ``t + 1`` probe in
+        the drain loop short-circuits it), while actual scans are rare
+        and short — every resident entry fires within the span of its
+        scheduling cycle, so the walk stops at the first non-empty
+        slot.
+        """
         if self._ring_count == 0:
             self._ring_next = _NEVER
             return
         ring = self._ring
-        for d in range(RING_SPAN):
+        mask = self._mask
+        for d in range(self._span):
             t = start + d
-            if ring[t & _RING_MASK]:
+            if ring[t & mask]:
                 self._ring_next = t
                 return
         self._ring_next = _NEVER  # pragma: no cover - count/ring desync
@@ -335,15 +430,16 @@ class SimEngine:
         """Spill heap entries firing at cycle ``t`` into ``t``'s bucket.
 
         The bucket is then sorted once, giving the (vtime, seq) walk
-        order across both tiers.  ``_ring_next`` is pulled back to ``t``
-        so an exception unwind mid-drain leaves the unfired remainder
-        discoverable.
+        order across both tiers (records are [time, vtime, seq, ...]
+        and time is uniform within a bucket, so list comparison orders
+        by (vtime, seq) exactly).  ``_ring_next`` is pulled back to
+        ``t`` so an exception unwind mid-drain leaves the unfired
+        remainder discoverable.
         """
         heap = self._heap
         pop = heapq.heappop
         while heap and heap[0][0] == t:
-            _, vtime, seq, token, fn = pop(heap)
-            bucket.append((vtime, seq, token, fn))
+            bucket.append(pop(heap))
             self._ring_count += 1
         self._ring_next = t
 
@@ -358,15 +454,20 @@ class SimEngine:
         anchored at the cutoff rather than a stale ``now``.  Returns
         ``self.now``.
         """
-        # Hot loop: bind heap/ring and the budget to locals; mirror the
-        # processed count back on every exit path (events fired inside a
-        # callback raising included).  Cycles holding exactly one event —
-        # the overwhelming case in a sparse cycle-accurate model — take
-        # dedicated fast paths that skip the spill/sort/rescan machinery;
-        # ordering is trivially exact because there is nothing to order
-        # against.
+        # Hot loop: bind heap/ring/freelist and the budget to locals;
+        # mirror the processed count back on every exit path (events
+        # fired inside a callback raising included).  Cycles holding
+        # exactly one event — the overwhelming case in a sparse
+        # cycle-accurate model — take dedicated fast paths that skip the
+        # spill/sort/rescan machinery; ordering is trivially exact
+        # because there is nothing to order against.  Records are
+        # recycled the moment their fields are read: a consumed bucket
+        # position is never re-read, so a callback reusing the record
+        # for a new event cannot alias a pending one.
         heap = self._heap
         ring = self._ring
+        free = self._free
+        mask = self._mask
         heappop = heapq.heappop
         budget = self._max_events
         processed = self.events_processed
@@ -383,7 +484,7 @@ class SimEngine:
                 if until is not None and t > until:
                     break
 
-                bucket = ring[t & _RING_MASK]
+                bucket = ring[t & mask]
                 if heap and heap[0][0] == t:
                     if not bucket and (
                         len(heap) == 1
@@ -396,7 +497,11 @@ class SimEngine:
                         # The ring is untouched (zero-delay events fn
                         # schedules min-update _ring_next themselves),
                         # so no bucket spill and no slot rescan.
-                        _, vtime, _s, token, fn = heappop(heap)
+                        rec = heappop(heap)
+                        vtime = rec[1]
+                        token = rec[3]
+                        fn = rec[4]
+                        free.append(rec)
                         if token.cancelled:
                             self._cancelled_resident -= 1
                             continue
@@ -415,10 +520,13 @@ class SimEngine:
                     self._merge_heap_into_bucket(t, bucket)
                 if len(bucket) == 1:
                     # Lone ring entry: pop + fire, then recompute the
-                    # next ring cycle with one inline probe (the scan
-                    # method is the fallback, not the common case).
-                    vtime, _s, token, fn = bucket.pop()
+                    # next ring cycle from the occupancy mask.
+                    rec = bucket.pop()
                     self._ring_count -= 1
+                    vtime = rec[1]
+                    token = rec[3]
+                    fn = rec[4]
+                    free.append(rec)
                     if token.cancelled:
                         self._cancelled_resident -= 1
                     else:
@@ -436,13 +544,11 @@ class SimEngine:
                         self._ring_next = t
                     elif self._ring_count == 0:
                         self._ring_next = _NEVER
-                    elif ring[(t + 1) & _RING_MASK]:
+                    elif ring[(t + 1) & mask]:
+                        # Inline probe of the next cycle: chained
+                        # delay-1 events (bursts) skip the mask scan.
                         self._ring_next = t + 1
                     else:
-                        # Slots t and t+1 are known empty; every resident
-                        # entry fires within RING_SPAN - 1 cycles of its
-                        # scheduling time <= t, so scanning from t + 2
-                        # still covers the whole window.
                         self._scan_ring_next(t + 2)
                     if self._heap is not heap:
                         heap = self._heap
@@ -457,8 +563,12 @@ class SimEngine:
                     # mid-drain extend this same list and are picked up
                     # in schedule order.
                     while i < len(bucket):
-                        vtime, _, token, fn = bucket[i]
+                        rec = bucket[i]
                         i += 1
+                        vtime = rec[1]
+                        token = rec[3]
+                        fn = rec[4]
+                        free.append(rec)
                         if token.cancelled:
                             self._cancelled_resident -= 1
                             continue
@@ -501,13 +611,17 @@ class SimEngine:
                 t = t_ring
             else:
                 return False
-            bucket = self._ring[t & _RING_MASK]
+            bucket = self._ring[t & self._mask]
             if heap and heap[0][0] == t:
                 self._merge_heap_into_bucket(t, bucket)
             if len(bucket) > 1:
                 bucket.sort()
-            vtime, _, token, fn = bucket.pop(0)
+            rec = bucket.pop(0)
             self._ring_count -= 1
+            vtime = rec[1]
+            token = rec[3]
+            fn = rec[4]
+            self._free.append(rec)
             if not bucket:
                 self._scan_ring_next(t + 1)
             if token.cancelled:
@@ -536,3 +650,5 @@ class SimEngine:
         sim.set("ring_events", self.ring_events)
         sim.set("heap_events", self.heap_events)
         sim.set("heap_compactions", self.heap_compactions)
+        sim.set("ring_span", self._span)
+        sim.set("slab_free_records", len(self._free))

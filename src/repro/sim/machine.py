@@ -47,6 +47,7 @@ class Machine:
         fault_plan=None,
         watchdog=None,
         coalesce: bool = True,
+        ring_span: Optional[int] = None,
     ) -> None:
         if len(programs) > params.num_cores:
             raise ConfigError(
@@ -69,7 +70,11 @@ class Machine:
             "system": spec.name,
             "fault_plan": fault_plan.name if fault_plan is not None else None,
         }
-        self.engine = SimEngine()
+        #: Near-future ring geometry override (power of two); None uses
+        #: the engine default.  Exists for the ring-span sweep bench.
+        self.engine = (
+            SimEngine() if ring_span is None else SimEngine(ring_span=ring_span)
+        )
         self.topology = MeshTopology(params.network)
         self.network = NetworkModel(self.topology, params.network)
         if params.network.model_contention:

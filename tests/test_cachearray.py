@@ -9,10 +9,10 @@ from repro.coherence.cachearray import CacheArray
 from repro.coherence.states import MESI
 
 
-@pytest.fixture
-def arr() -> CacheArray:
-    # 4 sets, 2 ways.
-    return CacheArray(CacheParams(8 * 64, 2, 2))
+@pytest.fixture(params=["packed", "reference"])
+def arr(request) -> CacheArray:
+    # 4 sets, 2 ways; every test runs against both array backends.
+    return CacheArray(CacheParams(8 * 64, 2, 2, backend=request.param))
 
 
 class TestBasics:

@@ -156,8 +156,8 @@ class TestTransactionalTracking:
         self._tx_access(m, 0, 5, False)
         self._tx_access(m, 0, 6, True)
         assert 5 in tx.read_set and 6 in tx.write_set
-        assert m.memsys.tx_readers[5] == {0}
-        assert m.memsys.tx_writers[6] == {0}
+        assert m.memsys.tx_readers[5] == 1 << 0  # core bitmask
+        assert m.memsys.tx_writers[6] == 1 << 0
 
     def test_retire_clears_but_keeps_lines(self):
         m = idle_machine()

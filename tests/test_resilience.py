@@ -308,7 +308,7 @@ class TestStructuredErrors:
         m = make_machine([[Txn([store(0, 1)])]], "LockillerTM", seed=0)
         m.run()
         assert m.memsys.check_quiescent() == []
-        m.memsys.tx_readers[0x40] = {0}
+        m.memsys.tx_readers[0x40] = 1 << 0  # core bitmask
         m.memsys.sig_owner = 0
         m.memsys.of_rd_sig.insert(0x40)
         problems = m.memsys.check_quiescent()

@@ -28,9 +28,11 @@ CORES = st.integers(0, 3)
 class CacheArrayModel(RuleBasedStateMachine):
     """CacheArray vs a reference LRU model (2 sets x 2 ways)."""
 
+    backend = "packed"
+
     def __init__(self):
         super().__init__()
-        self.arr = CacheArray(CacheParams(4 * 64, 2, 2))
+        self.arr = CacheArray(CacheParams(4 * 64, 2, 2, backend=self.backend))
         # Reference: per-set list of (line, state), LRU first.
         self.ref = {0: [], 1: []}
 
@@ -95,8 +97,19 @@ class CacheArrayModel(RuleBasedStateMachine):
         self.arr.check_invariants()
 
 
+class ReferenceCacheArrayModel(CacheArrayModel):
+    """The same machine driving the reference dict-of-lists backend."""
+
+    backend = "reference"
+
+
 TestCacheArrayModel = CacheArrayModel.TestCase
 TestCacheArrayModel.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+
+TestReferenceCacheArrayModel = ReferenceCacheArrayModel.TestCase
+TestReferenceCacheArrayModel.settings = settings(
     max_examples=60, stateful_step_count=40, deadline=None
 )
 
