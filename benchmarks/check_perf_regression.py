@@ -179,14 +179,27 @@ def history(snapshots: List[str], markdown: bool) -> int:
         first: Optional[float] = None
         last: Optional[float] = None
         cells = []
-        for _path, doc in docs:
+        for path, doc in docs:
             case = doc.get("cases", {}).get(name)
-            if case is None:
+            if not isinstance(case, dict):
                 cells.append(None)
                 continue
-            if first is None and case.get("before_ms"):
-                first = case["before_ms"].get(GATE_STAT)
-            val = case["after_ms"][GATE_STAT]
+            before = case.get("before_ms")
+            if first is None and isinstance(before, dict):
+                first = before.get(GATE_STAT)
+            # Hand-edited or renamed-case snapshots may lack the gate
+            # statistic entirely: warn and render "-" instead of dying.
+            after = case.get("after_ms")
+            val = after.get(GATE_STAT) if isinstance(after, dict) \
+                else None
+            if val is None:
+                print(
+                    f"warning: {path}: case {name!r} has no "
+                    f"after_ms[{GATE_STAT!r}]; skipping that cell",
+                    file=sys.stderr,
+                )
+                cells.append(None)
+                continue
             if first is None:
                 first = val
             last = val

@@ -7,6 +7,12 @@ Adds the performance tooling entry point::
         [--no-coalesce] [--save out.json]
     python -m repro profile --compare before.json after.json
 
+the sweep-service commands (:mod:`repro.service.cli`)::
+
+    python -m repro serve   [--state-dir D] [--port P] [--jobs N] ...
+    python -m repro submit  --workloads ... --systems ... [--wait]
+    python -m repro status|results|stream|cancel JOB
+
 and forwards every other command (``run``, ``sweep``, ``fig*``,
 ``metrics``, ``timeline``, ...) to :mod:`repro.harness.cli`, so the
 harness CLI is reachable as plain ``python -m repro run ...`` too.
@@ -90,6 +96,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
+    if argv and argv[0] in (
+        "serve", "submit", "status", "results", "stream", "cancel",
+    ):
+        from repro.service.cli import main as service_main
+
+        return service_main(argv)
     from repro.harness.cli import main as cli_main
 
     return cli_main(argv if argv else None)

@@ -1,0 +1,179 @@
+"""Stdlib HTTP client for the sweep service.
+
+Mirrors the ``/v1`` API one method per endpoint.  Every method raises
+:class:`ServiceError` on a non-2xx response, carrying the HTTP status
+and the decoded error payload — a 429 therefore surfaces as
+``ServiceError`` with ``status == 429`` and the quota details intact,
+which is what callers implementing backoff need.
+
+:meth:`ServiceClient.stream` yields event dicts live from the NDJSON
+feed until the job reaches a terminal state (or the non-follow dump
+ends).  :func:`discover` finds a running server from the ``server.json``
+a service writes into its state directory.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+from typing import Dict, Iterator, Optional
+
+DEFAULT_TIMEOUT = 60.0
+
+
+class ServiceError(Exception):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Dict) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}"
+        )
+
+    @property
+    def is_backpressure(self) -> bool:
+        return self.status == 429
+
+
+class ServiceClient:
+    """One service endpoint; connections are per-request."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8")
+                if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"} if payload \
+                else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read().decode("utf-8")
+            try:
+                doc = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                doc = {"error": raw}
+            if resp.status >= 400:
+                raise ServiceError(resp.status, doc)
+            return doc
+        finally:
+            conn.close()
+
+    # -- API -----------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, campaign: Dict,
+               tenant: Optional[str] = None) -> Dict:
+        body: Dict = {"campaign": campaign}
+        if tenant is not None:
+            body["tenant"] = tenant
+        return self._request("POST", "/v1/jobs", body)
+
+    def jobs(self) -> Dict:
+        return self._request("GET", "/v1/jobs")
+
+    def status(self, job_id: str) -> Dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def results(self, job_id: str, lite: bool = False) -> Dict:
+        suffix = "?lite=1" if lite else ""
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}/results{suffix}"
+        )
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def stream(self, job_id: str, follow: bool = True,
+               cursor: int = 0) -> Iterator[Dict]:
+        """Yield event dicts from the job's NDJSON feed."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            follow_q = "1" if follow else "0"
+            conn.request(
+                "GET",
+                f"/v1/jobs/{job_id}/events"
+                f"?follow={follow_q}&cursor={cursor}",
+            )
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                raw = resp.read().decode("utf-8")
+                try:
+                    doc = json.loads(raw) if raw else {}
+                except json.JSONDecodeError:
+                    doc = {"error": raw}
+                raise ServiceError(resp.status, doc)
+            buffer = b""
+            while True:
+                chunk = resp.read1(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_s: float = 0.05) -> Dict:
+        """Poll status until the job is terminal; returns final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout}s"
+                )
+            time.sleep(poll_s)
+
+
+def discover(state_dir: str, timeout: float = DEFAULT_TIMEOUT,
+             wait_s: float = 0.0) -> ServiceClient:
+    """Client for the server advertised in ``<state_dir>/server.json``.
+
+    ``wait_s`` polls for the file to appear — useful right after
+    spawning a server process.
+    """
+    path = os.path.join(state_dir, "server.json")
+    deadline = time.monotonic() + wait_s
+    while True:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            return ServiceClient(
+                doc["host"], doc["port"], timeout=timeout
+            )
+        except (OSError, ValueError, KeyError):
+            if time.monotonic() >= deadline:
+                raise FileNotFoundError(
+                    f"no readable server.json under {state_dir!r} — "
+                    "is the service running?"
+                ) from None
+            time.sleep(0.05)

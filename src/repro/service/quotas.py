@@ -1,0 +1,211 @@
+"""Per-tenant admission quotas and the fair round-robin cell queue.
+
+Backpressure model (docs/SERVICE.md):
+
+* **Admission** — a submit is rejected (HTTP 429) when the tenant's
+  *queued* cell count would exceed ``max_queued_cells``.  Admission
+  counts every cell of the campaign, including ones that will later be
+  served from the cache: admission control must be O(1) and cannot
+  afford a disk probe per cell, so dedup happens at schedule time and
+  only *frees* queue budget early.
+* **Scheduling** — the service drains tenants round-robin, one cell per
+  tenant per turn, and never lets a tenant exceed
+  ``max_concurrent_cells`` simultaneously executing cells.  A tenant at
+  its concurrency limit is skipped, not blocked on — other tenants keep
+  draining, which is what lets thousands of concurrent campaigns
+  degrade gracefully instead of convoying behind the largest one.
+* Cells served from the cache or deduplicated onto an in-flight
+  execution never consume concurrency budget — only real executions do.
+
+``max_queued_cells=0`` defines a *zero-quota* tenant: every submit is
+rejected.  Quotas are admission policy only — they never change which
+cells run or what they produce, so determinism is untouched.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant."""
+
+    max_queued_cells: int = 10_000
+    max_concurrent_cells: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_queued_cells < 0:
+            raise ConfigError("max_queued_cells must be >= 0")
+        if self.max_concurrent_cells < 1:
+            raise ConfigError("max_concurrent_cells must be >= 1")
+
+
+class QuotaExceeded(Exception):
+    """Raised at admission when a tenant is over quota (HTTP 429)."""
+
+    def __init__(self, tenant: str, queued: int, requested: int,
+                 quota: TenantQuota) -> None:
+        self.tenant = tenant
+        self.queued = queued
+        self.requested = requested
+        self.quota = quota
+        super().__init__(
+            f"tenant {tenant!r} over quota: {queued} cell(s) queued + "
+            f"{requested} requested > max_queued_cells="
+            f"{quota.max_queued_cells}"
+        )
+
+
+class TenantAccounting:
+    """Live queue/concurrency counters for one tenant."""
+
+    def __init__(self, quota: TenantQuota) -> None:
+        self.quota = quota
+        self.queued = 0
+        self.running = 0
+        self.peak_running = 0
+        self.rejected_submits = 0
+        self.completed = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "queued_cells": self.queued,
+            "running_cells": self.running,
+            "peak_running_cells": self.peak_running,
+            "rejected_submits": self.rejected_submits,
+            "completed_cells": self.completed,
+            "max_queued_cells": self.quota.max_queued_cells,
+            "max_concurrent_cells": self.quota.max_concurrent_cells,
+        }
+
+
+class FairQueue:
+    """Round-robin, quota-aware queue of ``(job_id, cell_index)`` work.
+
+    One deque per tenant; :meth:`take` rotates tenants and returns the
+    next entry from the first tenant that is below its concurrency
+    limit.  All mutation happens on the service's event loop, so no
+    internal locking is needed.
+    """
+
+    def __init__(self, default_quota: TenantQuota,
+                 quotas: Optional[Dict[str, TenantQuota]] = None) -> None:
+        self.default_quota = default_quota
+        self._quotas = dict(quotas or {})
+        self._tenants: "OrderedDict[str, TenantAccounting]" = OrderedDict()
+        self._pending: Dict[str, Deque[Tuple[str, int]]] = {}
+
+    def tenant(self, name: str) -> TenantAccounting:
+        acct = self._tenants.get(name)
+        if acct is None:
+            acct = TenantAccounting(
+                self._quotas.get(name, self.default_quota)
+            )
+            self._tenants[name] = acct
+            self._pending[name] = deque()
+        return acct
+
+    def tenants(self) -> Dict[str, TenantAccounting]:
+        return dict(self._tenants)
+
+    # -- admission -----------------------------------------------------
+
+    def admit(self, tenant: str, cells: int) -> None:
+        """Reserve queue budget for ``cells`` or raise QuotaExceeded."""
+        acct = self.tenant(tenant)
+        if acct.queued + cells > acct.quota.max_queued_cells:
+            acct.rejected_submits += 1
+            raise QuotaExceeded(tenant, acct.queued, cells, acct.quota)
+        acct.queued += cells
+
+    def release_queued(self, tenant: str, cells: int = 1) -> None:
+        """Return queue budget (cell scheduled, deduped, or cancelled)."""
+        acct = self.tenant(tenant)
+        acct.queued = max(0, acct.queued - cells)
+
+    # -- scheduling ----------------------------------------------------
+
+    def push(self, tenant: str, job_id: str, cell_index: int) -> None:
+        self.tenant(tenant)
+        self._pending[tenant].append((job_id, cell_index))
+
+    def pending(self, tenant: Optional[str] = None) -> int:
+        if tenant is not None:
+            return len(self._pending.get(tenant, ()))
+        return sum(len(q) for q in self._pending.values())
+
+    def take(self) -> Optional[Tuple[str, str, int]]:
+        """Next ``(tenant, job_id, cell_index)`` under quota, or None.
+
+        Rotates the tenant ring exactly once; tenants with no pending
+        work or at their concurrency limit are skipped.  The tenant the
+        entry came from is moved to the back of the ring, which is what
+        makes draining round-robin fair.
+        """
+        for name in list(self._tenants):
+            queue = self._pending[name]
+            if not queue:
+                continue
+            acct = self._tenants[name]
+            if acct.running >= acct.quota.max_concurrent_cells:
+                continue
+            job_id, cell_index = queue.popleft()
+            self._tenants.move_to_end(name)
+            return name, job_id, cell_index
+        return None
+
+    def drop_job(self, tenant: str, job_id: str) -> int:
+        """Remove every queued entry of ``job_id``; returns the count."""
+        queue = self._pending.get(tenant)
+        if not queue:
+            return 0
+        kept = deque(e for e in queue if e[0] != job_id)
+        dropped = len(queue) - len(kept)
+        self._pending[tenant] = kept
+        return dropped
+
+    # -- execution accounting -----------------------------------------
+
+    def mark_running(self, tenant: str) -> None:
+        acct = self.tenant(tenant)
+        acct.running += 1
+        acct.peak_running = max(acct.peak_running, acct.running)
+
+    def mark_finished(self, tenant: str) -> None:
+        acct = self.tenant(tenant)
+        acct.running = max(0, acct.running - 1)
+        acct.completed += 1
+
+    def has_headroom(self) -> bool:
+        """True when some tenant could schedule right now."""
+        for name, acct in self._tenants.items():
+            if (
+                self._pending[name]
+                and acct.running < acct.quota.max_concurrent_cells
+            ):
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tenants)
+
+
+def parse_quota(text: str) -> TenantQuota:
+    """Parse the CLI's ``QUEUED:CONCURRENT`` quota shorthand."""
+    try:
+        queued_s, _, concurrent_s = text.partition(":")
+        queued = int(queued_s)
+        concurrent = int(concurrent_s) if concurrent_s else 8
+    except ValueError:
+        raise ConfigError(
+            f"invalid quota {text!r}: expected QUEUED[:CONCURRENT] "
+            "(e.g. 1000:8)"
+        ) from None
+    return TenantQuota(
+        max_queued_cells=queued, max_concurrent_cells=concurrent
+    )

@@ -1,0 +1,710 @@
+"""The always-on sweep service: HTTP API, scheduler, drain.
+
+:class:`ReproService` is a single-event-loop asyncio service (pure
+stdlib — the HTTP/1.1 layer is a minimal parser over
+``asyncio.start_server``) that turns the harness substrate into a
+long-running experiment backend:
+
+* **Submit** (``POST /v1/jobs``) admits a campaign under the tenant's
+  queue quota (429 + ``Retry-After`` when over), journals it, and
+  enqueues its cells on the fair round-robin queue.
+* **Schedule** — the scheduler drains tenants round-robin.  Each cell
+  is deduplicated *at schedule time*, first against in-flight
+  executions (a second campaign asking for a running cell subscribes to
+  the same future), then against the sharded content-addressed store
+  (an already-computed cell is delivered without scheduling).  Only
+  true misses fan out to the :func:`repro.harness.parallel.execute_cell`
+  process pool, bounded globally by the worker count and per tenant by
+  ``max_concurrent_cells``.
+* **Stream** (``GET /v1/jobs/<id>/events?follow=1``) tails the job's
+  JSONL event feed over chunked-free ``Connection: close`` NDJSON.
+* **Drain** — SIGTERM (or :meth:`request_stop`) stops admission (503),
+  stops scheduling, lets in-flight cells finish and land in the store,
+  journals every non-terminal job, and exits.  On restart the service
+  re-expands journaled campaigns and schedule-time dedup serves every
+  completed cell from the store: journal + store = checkpoint.
+
+Determinism: cells execute through the exact same pure
+``execute_cell`` the serial harness uses, and results are slotted by
+campaign cell index — a served campaign is bit-identical to
+``Sweep.run``.  Scheduling order, quotas and dedup can change *when* a
+cell runs, never *what* it computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.common.errors import ConfigError
+from repro.harness.export import fingerprint, run_stats_to_dict
+from repro.harness.parallel import CellTask, execute_cell, resolve_jobs
+from repro.service.campaigns import CampaignSpec, CellSpec
+from repro.service.jobs import Job, JobState
+from repro.service.quotas import FairQueue, QuotaExceeded, TenantQuota
+from repro.service.store import ShardedStore
+
+API_VERSION = "v1"
+DEFAULT_TENANT = "default"
+TENANT_HEADER = "x-repro-tenant"
+
+
+@dataclass
+class ServiceConfig:
+    """Everything needed to bring the service up."""
+
+    state_dir: str
+    host: str = "127.0.0.1"
+    #: 0 = pick a free port (the bound port lands in ``server.json``).
+    port: int = 0
+    #: Worker processes (``repro.harness.parallel`` jobs convention).
+    jobs: Optional[int] = None
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    quotas: Dict[str, TenantQuota] = field(default_factory=dict)
+    #: Store root; defaults to ``<state_dir>/runcache``.
+    cache_dir: Optional[str] = None
+
+
+class _InFlight:
+    """One executing cell and every (job, index) waiting on it."""
+
+    __slots__ = ("cell", "owner_tenant", "subscribers")
+
+    def __init__(self, cell: CellSpec, owner_tenant: str,
+                 job_id: str, index: int) -> None:
+        self.cell = cell
+        self.owner_tenant = owner_tenant
+        self.subscribers: List[Tuple[str, int]] = [(job_id, index)]
+
+
+class ReproService:
+    """Multi-tenant sweep service over the harness substrate."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        os.makedirs(config.state_dir, exist_ok=True)
+        self.store = ShardedStore(
+            config.cache_dir
+            or os.path.join(config.state_dir, "runcache")
+        )
+        self.queue = FairQueue(config.default_quota, config.quotas)
+        self.jobs: Dict[str, Job] = {}
+        self.workers = resolve_jobs(config.jobs)
+        self.draining = False
+        self.cells_executed = 0
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._inflight: Dict[str, _InFlight] = {}
+        self._executing = 0
+        self._submit_seq = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._cell_tasks: "set[asyncio.Task]" = set()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def server_file(self) -> str:
+        return os.path.join(self.config.state_dir, "server.json")
+
+    async def start(self) -> None:
+        """Bind, resume journaled jobs, and start the scheduler."""
+        self._wake = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        self._write_server_file()
+        self._resume_journaled_jobs()
+        self._scheduler_task = asyncio.ensure_future(self._scheduler())
+        self._wake.set()
+
+    def _write_server_file(self) -> None:
+        payload = {
+            "host": self.host,
+            "port": self.port,
+            "pid": os.getpid(),
+            "api": API_VERSION,
+            "state_dir": os.path.abspath(self.config.state_dir),
+        }
+        tmp = f"{self.server_file}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, self.server_file)
+
+    def _resume_journaled_jobs(self) -> None:
+        """Re-enqueue every non-terminal journaled job (drain resume)."""
+        jobs_dir = os.path.join(self.config.state_dir, "jobs")
+        if not os.path.isdir(jobs_dir):
+            return
+        loaded: List[Job] = []
+        for name in sorted(os.listdir(jobs_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(jobs_dir, name)
+            try:
+                job = Job.load_journal(path, self.config.state_dir)
+            except (OSError, ValueError, KeyError, ConfigError):
+                continue  # unreadable journal: skip, never crash startup
+            loaded.append(job)
+        loaded.sort(key=lambda j: j.submit_seq)
+        for job in loaded:
+            self._submit_seq = max(self._submit_seq, job.submit_seq)
+            self.jobs[job.job_id] = job
+            if job.state.terminal:
+                continue
+            # Continue the event seq from the on-disk feed so resumed
+            # jobs keep appending monotonically.
+            try:
+                with open(job.events_path, encoding="utf-8") as fh:
+                    job._event_seq = sum(1 for _ in fh)
+            except OSError:
+                pass
+            job.state = JobState.QUEUED
+            job.save_journal()
+            # Resumed cells were admitted before the restart; account
+            # their queue budget without re-applying the admission gate.
+            self.queue.tenant(job.tenant).queued += job.cells_total
+            for cell in job.cells:
+                self.queue.push(job.tenant, job.job_id, cell.index)
+            job.emit("resumed", cells_total=job.cells_total)
+
+    async def serve_until_stopped(self) -> None:
+        await self._stopped.wait()
+
+    def request_stop(self) -> None:
+        """Begin graceful drain; ``serve_until_stopped`` returns after."""
+        if self.draining:
+            return
+        self.draining = True
+        asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        # Stop admission (503 from here on) and scheduling, let every
+        # in-flight cell finish and land in the store, journal the rest.
+        self._wake.set()
+        if self._cell_tasks:
+            await asyncio.gather(*self._cell_tasks,
+                                 return_exceptions=True)
+        for job in self.jobs.values():
+            if not job.state.terminal:
+                job.state = JobState.QUEUED
+                job.save_journal()
+                job.emit("drained", resumable=True)
+                await job.notify_watchers()
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+        try:
+            # A stale advertisement would point clients at a dead port.
+            os.unlink(self.server_file)
+        except OSError:
+            pass
+        self._stopped.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (main thread only)."""
+        loop = asyncio.get_event_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_stop)
+            except (NotImplementedError, ValueError):
+                return
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, tenant: str, campaign: CampaignSpec) -> Job:
+        """Admit one campaign; raises QuotaExceeded / RuntimeError."""
+        if self.draining:
+            raise RuntimeError("service is draining")
+        self.queue.admit(tenant, campaign.size())
+        self._submit_seq += 1
+        job_id = f"j{self._submit_seq:05d}-{uuid.uuid4().hex[:6]}"
+        job = Job(job_id, tenant, campaign, self.config.state_dir,
+                  submit_seq=self._submit_seq)
+        self.jobs[job_id] = job
+        job.save_journal()
+        job.emit("submitted", tenant=tenant,
+                 cells_total=job.cells_total,
+                 campaign_digest=campaign.digest())
+        for cell in job.cells:
+            self.queue.push(tenant, job_id, cell.index)
+        self._wake.set()
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        job = self.jobs[job_id]
+        if job.state.terminal:
+            return job
+        dropped = self.queue.drop_job(job.tenant, job_id)
+        if dropped:
+            self.queue.release_queued(job.tenant, dropped)
+        # Detach from in-flight executions; the executions themselves
+        # finish and land in the store (deterministic and reusable).
+        for inflight in self._inflight.values():
+            inflight.subscribers = [
+                s for s in inflight.subscribers if s[0] != job_id
+            ]
+        job.state = JobState.CANCELLED
+        job.save_journal()
+        job.emit("cancelled", cells_dropped=dropped)
+        return job
+
+    # -- scheduler -----------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while not self.draining and self._executing < self.workers:
+                item = self.queue.take()
+                if item is None:
+                    break
+                tenant, job_id, index = item
+                job = self.jobs[job_id]
+                self.queue.release_queued(tenant)
+                if job.state.terminal:
+                    continue  # cancelled while queued
+                cell = job.cells[index]
+                inflight = self._inflight.get(cell.key)
+                if inflight is not None:
+                    inflight.subscribers.append((job_id, index))
+                    job.cells_deduped += 1
+                    job.emit("cell_deduped", index=index, key=cell.key,
+                             label=cell.label())
+                    await job.notify_watchers()
+                    continue
+                hit = self.store.get(cell.key)
+                if hit is not None:
+                    await self._deliver(job, index, hit, "cache")
+                    continue
+                self._start_cell(loop, tenant, job, cell)
+
+    def _start_cell(self, loop, tenant: str, job: Job,
+                    cell: CellSpec) -> None:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        inflight = _InFlight(cell, tenant, job.job_id, cell.index)
+        self._inflight[cell.key] = inflight
+        self._executing += 1
+        self.queue.mark_running(tenant)
+        job.cells_scheduled += 1
+        if job.state is JobState.QUEUED:
+            job.state = JobState.RUNNING
+            job.save_journal()
+        job.emit("cell_scheduled", index=cell.index, key=cell.key,
+                 label=cell.label())
+        task = CellTask(
+            cell.index, cell.workload, cell.spec, cell.threads,
+            cell.scale, cell.seed, cell.params,
+        )
+        fut = loop.run_in_executor(self._pool, execute_cell, task)
+        runner = asyncio.ensure_future(self._run_cell(inflight, fut))
+        self._cell_tasks.add(runner)
+        runner.add_done_callback(self._cell_tasks.discard)
+
+    async def _run_cell(self, inflight: _InFlight, fut) -> None:
+        cell = inflight.cell
+        error: Optional[str] = None
+        stats = None
+        try:
+            _, stats = await fut
+        except Exception as exc:  # noqa: BLE001 - fail the cell, not us
+            error = f"{type(exc).__name__}: {exc}"
+        self._executing -= 1
+        self.queue.mark_finished(inflight.owner_tenant)
+        self._inflight.pop(cell.key, None)
+        if stats is not None:
+            self.cells_executed += 1
+            self.store.put(cell.key, stats, meta={
+                "workload": cell.workload,
+                "system": cell.system,
+                "threads": cell.threads,
+                "scale": cell.scale,
+                "seed": cell.seed,
+            })
+        for i, (job_id, index) in enumerate(inflight.subscribers):
+            job = self.jobs.get(job_id)
+            if job is None or job.state.terminal:
+                continue
+            if stats is not None:
+                source = "executed" if i == 0 else "deduped"
+                await self._deliver(job, index, stats, source)
+            else:
+                await self._fail_cell(job, index, error)
+        self._wake.set()
+
+    async def _deliver(self, job: Job, index: int, stats,
+                       source: str) -> None:
+        job.results[index] = stats
+        job.cells_done += 1
+        if source == "cache":
+            job.cells_from_cache += 1
+        job.emit("cell_done", index=index, source=source,
+                 label=job.cells[index].label(),
+                 fingerprint=fingerprint(stats),
+                 done=job.cells_done, total=job.cells_total)
+        await self._maybe_finish(job)
+        await job.notify_watchers()
+
+    async def _fail_cell(self, job: Job, index: int,
+                         error: Optional[str]) -> None:
+        job.cells_failed += 1
+        job.failures[index] = error or "unknown error"
+        job.emit("cell_failed", index=index,
+                 label=job.cells[index].label(), error=error)
+        await self._maybe_finish(job)
+        await job.notify_watchers()
+
+    async def _maybe_finish(self, job: Job) -> None:
+        if not job.complete or job.state.terminal:
+            return
+        if job.cells_failed:
+            job.state = JobState.FAILED
+            job.error = (
+                f"{job.cells_failed} cell(s) failed; "
+                f"first: {next(iter(job.failures.values()))}"
+            )
+        else:
+            job.state = JobState.DONE
+        job.save_journal()
+        job.emit("job_" + job.state.value, progress=job.progress())
+
+    # -- payloads ------------------------------------------------------
+
+    def stats_dict(self) -> Dict:
+        return {
+            "draining": self.draining,
+            "workers": self.workers,
+            "cells_executed": self.cells_executed,
+            "cells_inflight": self._executing,
+            "store": {
+                "root": self.store.root,
+                "hits": self.store.hits,
+                "misses": self.store.misses,
+                "stores": self.store.stores,
+            },
+            "jobs": {
+                state.value: sum(
+                    1 for j in self.jobs.values() if j.state is state
+                )
+                for state in JobState
+            },
+            "tenants": {
+                name: acct.snapshot()
+                for name, acct in self.queue.tenants().items()
+            },
+        }
+
+    def results_dict(self, job: Job, lite: bool = False) -> Dict:
+        cells = []
+        for cell in job.cells:
+            stats = job.results[cell.index]
+            entry: Dict = {
+                "index": cell.index,
+                "label": cell.label(),
+                "key": cell.key,
+            }
+            if stats is not None:
+                entry["state"] = "done"
+                entry["fingerprint"] = fingerprint(stats)
+                if not lite:
+                    entry["stats"] = run_stats_to_dict(stats)
+            elif cell.index in job.failures:
+                entry["state"] = "failed"
+                entry["error"] = job.failures[cell.index]
+            else:
+                entry["state"] = "pending"
+            cells.append(entry)
+        out = dict(job.status_dict())
+        out["cells"] = cells
+        if job.campaign.kind == "multiseed" and job.state is JobState.DONE:
+            from repro.harness.multiseed import summarize_values
+
+            values = [
+                float(s.execution_cycles)
+                for s in job.results if s is not None
+            ]
+            summary = summarize_values(values)
+            out["summary"] = {
+                "metric": "execution_cycles",
+                "mean": summary.mean,
+                "stdev": summary.stdev,
+                "min": summary.minimum,
+                "max": summary.maximum,
+                "n": summary.n,
+                "ci95_half_width": summary.ci95_half_width,
+            }
+        return out
+
+    # -- HTTP layer ----------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, headers, body = request
+            await self._route(method, path, headers, body, writer)
+        except ConnectionError:
+            pass
+        except Exception as exc:  # noqa: BLE001 - one bad conn, not us
+            try:
+                _write_response(writer, 500, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                })
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split()
+        except ValueError:
+            raise ConfigError(f"malformed request line {line!r}")
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _route(self, method: str, target: str,
+                     headers: Dict[str, str], body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        url = urlsplit(target)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+        if not parts or parts[0] != API_VERSION:
+            return _write_response(writer, 404, {
+                "error": f"unknown path {url.path!r} (expected /v1/...)"
+            })
+        route = parts[1:]
+        if method == "GET" and route == ["healthz"]:
+            return _write_response(writer, 200, {
+                "ok": True, "draining": self.draining,
+            })
+        if method == "GET" and route == ["stats"]:
+            return _write_response(writer, 200, self.stats_dict())
+        if method == "POST" and route == ["jobs"]:
+            return self._http_submit(headers, body, writer)
+        if method == "GET" and route == ["jobs"]:
+            return _write_response(writer, 200, {
+                "jobs": [
+                    job.status_dict()
+                    for job in sorted(self.jobs.values(),
+                                      key=lambda j: j.submit_seq)
+                ]
+            })
+        if len(route) >= 2 and route[0] == "jobs":
+            job = self.jobs.get(route[1])
+            if job is None:
+                return _write_response(writer, 404, {
+                    "error": f"unknown job {route[1]!r}"
+                })
+            tail = route[2:]
+            if method == "GET" and tail == []:
+                return _write_response(writer, 200, job.status_dict())
+            if method == "GET" and tail == ["results"]:
+                lite = query.get("lite", ["0"])[0] not in ("0", "")
+                return _write_response(
+                    writer, 200, self.results_dict(job, lite=lite)
+                )
+            if method == "GET" and tail == ["events"]:
+                return await self._http_events(job, query, writer)
+            if method == "POST" and tail == ["cancel"]:
+                return _write_response(
+                    writer, 200, self.cancel(job.job_id).status_dict()
+                )
+        return _write_response(writer, 404, {
+            "error": f"no route for {method} {url.path}"
+        })
+
+    def _http_submit(self, headers: Dict[str, str], body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        if self.draining:
+            return _write_response(writer, 503, {
+                "error": "service is draining; resubmit after restart"
+            })
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return _write_response(writer, 400, {
+                "error": f"request body is not JSON: {exc}"
+            })
+        tenant = (
+            payload.get("tenant")
+            or headers.get(TENANT_HEADER)
+            or DEFAULT_TENANT
+        )
+        try:
+            campaign = CampaignSpec.from_dict(
+                payload.get("campaign", payload.get("sweep"))
+            )
+        except ConfigError as exc:
+            return _write_response(writer, 400, {"error": str(exc)})
+        try:
+            job = self.submit(str(tenant), campaign)
+        except QuotaExceeded as exc:
+            return _write_response(writer, 429, {
+                "error": str(exc),
+                "tenant": exc.tenant,
+                "queued_cells": exc.queued,
+                "requested_cells": exc.requested,
+                "max_queued_cells": exc.quota.max_queued_cells,
+            }, extra_headers={"Retry-After": "1"})
+        return _write_response(writer, 202, job.status_dict())
+
+    async def _http_events(self, job: Job, query: Dict,
+                           writer: asyncio.StreamWriter) -> None:
+        follow = query.get("follow", ["0"])[0] not in ("0", "")
+        cursor = int(query.get("cursor", ["0"])[0] or "0")
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        while True:
+            while cursor < len(job.events):
+                line = json.dumps(job.events[cursor], sort_keys=True)
+                writer.write(line.encode("utf-8") + b"\n")
+                cursor += 1
+            await writer.drain()
+            if not follow or job.state.terminal:
+                return
+            await job.wait_events(cursor)
+
+
+def _write_response(writer: asyncio.StreamWriter, status: int,
+                    payload: Dict,
+                    extra_headers: Optional[Dict[str, str]] = None
+                    ) -> None:
+    reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
+               404: "Not Found", 429: "Too Many Requests",
+               500: "Internal Server Error", 503: "Service Unavailable"}
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    head = [
+        f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write(
+        ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+    )
+
+
+def run_service(config: ServiceConfig) -> int:
+    """Blocking entry point (``python -m repro serve``)."""
+
+    async def _main() -> None:
+        service = ReproService(config)
+        await service.start()
+        service.install_signal_handlers()
+        print(
+            f"repro service listening on "
+            f"http://{service.host}:{service.port} "
+            f"(state: {config.state_dir}, workers: {service.workers})",
+            flush=True,
+        )
+        await service.serve_until_stopped()
+        print("repro service drained; all jobs journaled", flush=True)
+
+    asyncio.run(_main())
+    return 0
+
+
+class ServiceThread:
+    """Host a service on a background thread (tests, examples).
+
+    Usage::
+
+        with ServiceThread(ServiceConfig(state_dir=...)) as handle:
+            client = ServiceClient(handle.host, handle.port)
+            ...
+
+    The context exit requests a graceful drain and joins the thread.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.service: Optional[ReproService] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._startup_error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            try:
+                self.service = ReproService(self.config)
+                await self.service.start()
+                self.host = self.service.host
+                self.port = self.service.port
+                self._loop = asyncio.get_event_loop()
+            except BaseException as exc:  # surface on the caller's side
+                self._startup_error = exc
+                raise
+            finally:
+                self._ready.set()
+            await self.service.serve_until_stopped()
+
+        asyncio.run(_main())
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "service failed to start"
+            ) from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.service.request_stop)
+        self._thread.join(timeout=60)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,102 @@
+"""``check_perf_regression.py history`` must tolerate malformed
+snapshots (hand-edited or renamed benchmark case keys): warn and render
+``-`` for the affected cell instead of crashing."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "check_perf_regression.py",
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_perf_regression", _SCRIPT
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_snapshot(tmp_path, name, cases):
+    path = tmp_path / name
+    path.write_text(json.dumps({"label": name, "cases": cases}))
+    return str(path)
+
+
+def good_case(ms):
+    return {"after_ms": {"median": ms, "mean": ms, "min": ms}}
+
+
+class TestHistoryTolerance:
+    def test_well_formed_history(self, gate, tmp_path, capsys):
+        snaps = [
+            write_snapshot(tmp_path, "BENCH_PR1.json",
+                           {"sim": good_case(10.0)}),
+            write_snapshot(tmp_path, "BENCH_PR2.json",
+                           {"sim": good_case(5.0)}),
+        ]
+        assert gate.history(snaps, markdown=False) == 0
+        out = capsys.readouterr().out
+        assert "sim" in out
+        assert "2.00x" in out  # cumulative speedup 10 -> 5
+
+    @pytest.mark.parametrize(
+        "broken",
+        [
+            {},  # case renamed away: no stats at all
+            {"after_ms": {}},  # gate statistic missing
+            {"after_ms": {"mean": 4.0}},  # renamed statistic key
+            {"after_ms": "4.0"},  # wrong type entirely
+            {"after_ms": None, "before_ms": None},
+        ],
+    )
+    def test_malformed_case_warns_and_skips(
+        self, gate, tmp_path, capsys, broken
+    ):
+        snaps = [
+            write_snapshot(tmp_path, "BENCH_PR1.json",
+                           {"sim": good_case(10.0)}),
+            write_snapshot(tmp_path, "BENCH_PR2.json", {"sim": broken}),
+            write_snapshot(tmp_path, "BENCH_PR3.json",
+                           {"sim": good_case(5.0)}),
+        ]
+        assert gate.history(snaps, markdown=False) == 0
+        captured = capsys.readouterr()
+        if broken:  # an absent case is expected, not warning-worthy
+            assert "warning" in captured.err
+            assert "BENCH_PR2.json" in captured.err
+        # The healthy snapshots still produce the trajectory.
+        assert "sim" in captured.out
+        assert "2.00x" in captured.out
+
+    def test_case_key_renamed_between_snapshots(
+        self, gate, tmp_path, capsys
+    ):
+        snaps = [
+            write_snapshot(tmp_path, "BENCH_PR1.json",
+                           {"old_name": good_case(8.0)}),
+            write_snapshot(tmp_path, "BENCH_PR2.json",
+                           {"new_name": good_case(4.0)}),
+        ]
+        assert gate.history(snaps, markdown=False) == 0
+        out = capsys.readouterr().out
+        assert "old_name" in out and "new_name" in out
+
+    def test_markdown_mode_survives_malformed(self, gate, tmp_path,
+                                              capsys):
+        snaps = [
+            write_snapshot(tmp_path, "BENCH_PR1.json",
+                           {"sim": {"after_ms": {"mean": 1.0}}}),
+        ]
+        assert gate.history(snaps, markdown=True) == 0
+        assert "| case |" in capsys.readouterr().out

@@ -1,0 +1,177 @@
+"""Multi-process concurrent-writer stress tests for the run cache.
+
+The sweep service leans on ``RunCache``/``ShardedStore`` as the shared
+result store for many worker processes, so these tests pin the two
+properties that make that safe with no cross-process locking:
+
+* **put atomicity** — a reader never observes a partially written
+  entry, whether N processes hammer the *same* key or distinct keys
+  (temp file + ``os.replace`` within one filesystem).
+* **corrupt-entry repair** — a torn/garbage entry reads as a miss and
+  is unlinked, and that stays true while other processes concurrently
+  rewrite the same key.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.common.stats import CoreStats, RunStats
+from repro.harness.runcache import RunCache
+from repro.service.store import ShardedStore
+
+WRITERS = 6
+ROUNDS = 40
+
+# fork: children inherit the imported test module, no spawn re-import.
+mp = multiprocessing.get_context("fork")
+
+
+def make_stats(marker: int) -> RunStats:
+    return RunStats(execution_cycles=marker, cores=[CoreStats()])
+
+
+def make_cache(kind: str, root: str):
+    return (RunCache if kind == "runcache" else ShardedStore)(root)
+
+
+def key_of(i: int) -> str:
+    return f"{i:064x}"
+
+
+def same_key_writer(kind, root, marker, failures):
+    cache = make_cache(kind, root)
+    try:
+        for _ in range(ROUNDS):
+            cache.put(key_of(0), make_stats(marker))
+    except Exception:  # noqa: BLE001
+        with failures.get_lock():
+            failures.value += 1
+
+
+def distinct_key_writer(kind, root, marker, failures):
+    cache = make_cache(kind, root)
+    try:
+        for round_no in range(ROUNDS):
+            cache.put(key_of(marker * ROUNDS + round_no),
+                      make_stats(marker))
+    except Exception:  # noqa: BLE001
+        with failures.get_lock():
+            failures.value += 1
+
+
+def torn_reader(kind, root, done, torn_reads):
+    """Spin on get(); count reads that were neither a miss nor valid."""
+    cache = make_cache(kind, root)
+    while not done.is_set():
+        try:
+            stats = cache.get(key_of(0))
+        except Exception:  # noqa: BLE001
+            with torn_reads.get_lock():
+                torn_reads.value += 1
+            continue
+        if stats is not None and stats.execution_cycles >= WRITERS:
+            with torn_reads.get_lock():
+                torn_reads.value += 1
+
+
+def corrupting_writer(kind, root, failures):
+    """Interleave garbage writes with real puts on one key."""
+    cache = make_cache(kind, root)
+    path = cache.path_for(key_of(0))
+    try:
+        for round_no in range(ROUNDS):
+            if round_no % 2:
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write("{ torn entry" * 10)
+            else:
+                cache.put(key_of(0), make_stats(1))
+    except Exception:  # noqa: BLE001
+        with failures.get_lock():
+            failures.value += 1
+
+
+def run_all(procs):
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+        assert not p.is_alive(), "stress worker hung"
+        assert p.exitcode == 0
+
+
+@pytest.mark.parametrize("kind", ["runcache", "sharded"])
+class TestConcurrentWriters:
+    def test_same_key_puts_stay_atomic(self, tmp_path, kind):
+        root = str(tmp_path)
+        failures = mp.Value("i", 0)
+        torn_reads = mp.Value("i", 0)
+        done = mp.Event()
+        writers = [
+            mp.Process(target=same_key_writer,
+                       args=(kind, root, marker, failures))
+            for marker in range(WRITERS)
+        ]
+        reader = mp.Process(target=torn_reader,
+                            args=(kind, root, done, torn_reads))
+        reader.start()
+        try:
+            run_all(writers)
+        finally:
+            done.set()
+            reader.join(timeout=120)
+        assert reader.exitcode == 0
+        assert failures.value == 0
+        assert torn_reads.value == 0
+        # Last writer wins with a complete entry from *some* writer.
+        final = make_cache(kind, root).get(key_of(0))
+        assert final is not None
+        assert 0 <= final.execution_cycles < WRITERS
+
+    def test_distinct_key_puts_all_land(self, tmp_path, kind):
+        root = str(tmp_path)
+        failures = mp.Value("i", 0)
+        run_all([
+            mp.Process(target=distinct_key_writer,
+                       args=(kind, root, marker, failures))
+            for marker in range(WRITERS)
+        ])
+        assert failures.value == 0
+        cache = make_cache(kind, root)
+        for marker in range(WRITERS):
+            for round_no in range(ROUNDS):
+                key = key_of(marker * ROUNDS + round_no)
+                stats = cache.get(key)
+                assert stats is not None, key
+                assert stats.execution_cycles == marker
+        # No temp files leak once every writer has exited.
+        leftovers = [
+            name
+            for _, _, files in os.walk(root)
+            for name in files
+            if not name.endswith(".json")
+        ]
+        assert leftovers == []
+
+    def test_concurrent_corruption_is_repaired(self, tmp_path, kind):
+        root = str(tmp_path)
+        failures = mp.Value("i", 0)
+        run_all([
+            mp.Process(target=corrupting_writer,
+                       args=(kind, root, failures))
+            for _ in range(WRITERS)
+        ])
+        assert failures.value == 0
+        cache = make_cache(kind, root)
+        stats = cache.get(key_of(0))
+        if stats is None:
+            # Final write was garbage: the miss must have repaired it.
+            assert not os.path.exists(cache.path_for(key_of(0)))
+            cache.put(key_of(0), make_stats(1))
+            stats = cache.get(key_of(0))
+        assert stats is not None
+        assert stats.execution_cycles == 1
